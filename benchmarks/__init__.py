@@ -1,0 +1,9 @@
+"""Benchmark suite reproducing every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module maps to one experiment of DESIGN.md §4 (E1–E14); the rendered
+tables are printed and persisted under ``benchmarks/results/``.
+"""

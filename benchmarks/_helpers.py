@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark suite (output formatting and saving)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.evaluation.report import format_table, records_to_markdown, series_table
+from repro.evaluation.runner import SweepRecord
+
+
+def emit(
+    experiment_id: str,
+    title: str,
+    body: str,
+    results_dir: Path,
+    *,
+    benchmark=None,
+    extra_info: Optional[Dict[str, object]] = None,
+) -> None:
+    """Print an experiment's table and persist it under ``benchmarks/results``.
+
+    Parameters
+    ----------
+    experiment_id:
+        File stem, e.g. ``"E3_fig2_dblp_accuracy"``.
+    title:
+        Human-readable experiment title (includes the paper artefact).
+    body:
+        The already-rendered table text.
+    results_dir:
+        Destination directory (the ``results_dir`` fixture).
+    benchmark:
+        Optional pytest-benchmark fixture; headline numbers are attached to
+        ``benchmark.extra_info`` so they survive in the benchmark JSON.
+    extra_info:
+        Key → value summary for ``benchmark.extra_info``.
+    """
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    output_path = results_dir / f"{experiment_id}.md"
+    output_path.write_text(f"# {title}\n\n```\n{body}\n```\n", encoding="utf-8")
+    if benchmark is not None and extra_info:
+        for key, value in extra_info.items():
+            benchmark.extra_info[key] = value
+
+
+def accuracy_series(records: Sequence[SweepRecord], title: str) -> str:
+    """Render an accuracy/variance sweep the way Figures 2/3/9 report it."""
+    return series_table(records, title=title) + "\n\n" + records_to_markdown(records)
+
+
+__all__ = ["emit", "accuracy_series", "format_table"]

@@ -1,0 +1,80 @@
+"""E9 — Appendix C.3: impact of the dampened scale-up factor c_s.
+
+Reproduces the discussion of the dampening factor: larger c_s reduces
+underestimation at mid/high thresholds but can introduce overestimation
+with larger variance; c_s in [0.1, 0.5] is the recommended range, and the
+adaptive choice c_s = n_L/δ (LSH-SS(D)) is the paper's default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSSEstimator
+from repro.evaluation.metrics import summarize_trials
+
+THRESHOLDS = [0.5, 0.6, 0.7, 0.8, 0.9]
+CS_SETTINGS = {"no dampening": None, "cs=0.1": 0.1, "cs=0.5": 0.5, "cs=1.0": 1.0, "auto (nL/δ)": "auto"}
+
+
+def test_cs_dampening_factor(
+    benchmark, dblp_index, dblp_histogram, results_dir, num_trials
+):
+    table = dblp_index.primary_table
+
+    def run():
+        rows = []
+        for label, dampening in CS_SETTINGS.items():
+            estimator = LSHSSEstimator(table, dampening=dampening)
+            for threshold in THRESHOLDS:
+                true_size = dblp_histogram.join_size(threshold)
+                values = [
+                    estimator.estimate(threshold, random_state=seed).value
+                    for seed in range(num_trials)
+                ]
+                summary = summarize_trials(values, true_size)
+                rows.append(
+                    {
+                        "cs": label,
+                        "tau": threshold,
+                        "under": summary.mean_underestimation,
+                        "over": summary.mean_overestimation,
+                        "std": summary.std_estimate,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["c_s", "tau", "underest. %", "overest. %", "STD"],
+        [
+            [row["cs"], f"{row['tau']:.1f}", 100 * row["under"], 100 * row["over"], row["std"]]
+            for row in rows
+        ],
+        float_format="{:.1f}",
+    )
+
+    def mean_under(label):
+        return float(np.mean([row["under"] for row in rows if row["cs"] == label]))
+
+    def mean_std(label):
+        return float(np.mean([row["std"] for row in rows if row["cs"] == label]))
+
+    emit(
+        "E9_cs_dampening",
+        "Appendix C.3 — impact of the dampened scale-up factor c_s (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={
+            "mean_underestimation_no_dampening": mean_under("no dampening"),
+            "mean_underestimation_cs_0.5": mean_under("cs=0.5"),
+        },
+    )
+
+    # Dampening reduces (i.e. raises toward zero) the underestimation...
+    assert mean_under("cs=0.5") >= mean_under("no dampening") - 1e-9
+    # ...but a larger c_s cannot shrink the spread of the estimates.
+    assert mean_std("cs=1.0") >= mean_std("no dampening") - 1e-9

@@ -1,0 +1,66 @@
+"""E3 — Figure 2: accuracy and variance on the DBLP-like corpus.
+
+Reproduces Figure 2(a)/(b)/(c): relative error of overestimations,
+relative error of underestimations and standard deviation of the
+estimates across the threshold range, for LSH-SS, LSH-SS(D), RS(pop) and
+RS(cross) with the paper's default parameters (k = 20, m_H = m_L = n,
+δ = log n, m_R = 1.5 n).
+
+Shape expectations carried over from the paper:
+
+* LSH-SS essentially never overestimates wildly at high thresholds,
+* RS(pop)/RS(cross) fluctuate between 0 and huge values at τ ≥ 0.8,
+* the standard deviation of LSH-SS at high thresholds is far below RS's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._helpers import accuracy_series, emit
+from repro.core import CrossSampling, LSHSSEstimator, RandomPairSampling
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.runner import records_by_estimator
+
+
+def test_fig2_accuracy_and_variance(
+    benchmark, dblp_collection, dblp_index, dblp_histogram, results_dir, threshold_grid, num_trials
+):
+    table = dblp_index.primary_table
+    estimators = [
+        LSHSSEstimator(table),
+        LSHSSEstimator(table, dampening="auto"),
+        RandomPairSampling(dblp_collection),
+        CrossSampling(dblp_collection),
+    ]
+    runner = ExperimentRunner(
+        dblp_collection,
+        thresholds=threshold_grid,
+        num_trials=num_trials,
+        histogram=dblp_histogram,
+        random_state=0,
+    )
+
+    records = benchmark.pedantic(lambda: runner.run(estimators), rounds=1, iterations=1)
+
+    body = accuracy_series(records, "Figure 2 — relative error (over/under) and STD, DBLP-like")
+    grouped = records_by_estimator(records)
+    lsh_high = [r for r in grouped["LSH-SS"] if r.threshold >= 0.8]
+    rs_high = [r for r in grouped["RS(pop)"] if r.threshold >= 0.8]
+    emit(
+        "E3_fig2_dblp_accuracy",
+        "Figure 2 — accuracy and variance on DBLP-like",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={
+            "lsh_ss_std_at_0.9": lsh_high[-1].summary.std_estimate,
+            "rs_pop_std_at_0.9": rs_high[-1].summary.std_estimate,
+        },
+    )
+
+    # LSH-SS never overestimates by more than 2x at high thresholds...
+    for record in lsh_high:
+        assert record.summary.mean_overestimation < 2.0
+    # ...while its spread at tau=0.9 is below the random-sampling spread.
+    assert lsh_high[-1].summary.std_estimate <= rs_high[-1].summary.std_estimate

@@ -1,0 +1,82 @@
+"""E5 — Figure 4: impact of the number of hash functions k (LSH-SS vs LSH-S).
+
+Reproduces Figure 4(a)/(b): relative error at τ = 0.5 and τ = 0.8 as k
+varies over {10, 20, 30, 40, 50}.  The paper's finding: LSH-SS is largely
+insensitive to k, while LSH-S is highly sensitive because its conditional
+probability estimates depend on f(s) = s^k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSEstimator, LSHSSEstimator
+from repro.lsh import LSHTable, SignRandomProjectionFamily
+
+K_VALUES = [10, 20, 30, 40, 50]
+THRESHOLDS = [0.5, 0.8]
+
+
+def test_fig4_impact_of_k(
+    benchmark, dblp_collection, dblp_histogram, results_dir, num_trials
+):
+    def run():
+        rows = []
+        for num_hashes in K_VALUES:
+            family = SignRandomProjectionFamily(num_hashes, random_state=100 + num_hashes)
+            table = LSHTable(family, dblp_collection)
+            lsh_ss = LSHSSEstimator(table)
+            lsh_s = LSHSEstimator(table)
+            for threshold in THRESHOLDS:
+                true_size = dblp_histogram.join_size(threshold)
+                ss_values = [
+                    lsh_ss.estimate(threshold, random_state=seed).value
+                    for seed in range(num_trials)
+                ]
+                s_values = [
+                    lsh_s.estimate(threshold, random_state=seed).value
+                    for seed in range(num_trials)
+                ]
+                rows.append(
+                    {
+                        "k": num_hashes,
+                        "tau": threshold,
+                        "true": true_size,
+                        "lsh_ss_error": (np.mean(ss_values) - true_size) / true_size,
+                        "lsh_s_error": (np.mean(s_values) - true_size) / true_size,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["k", "tau", "true J", "LSH-SS error %", "LSH-S error %"],
+        [
+            [row["k"], f"{row['tau']:.1f}", row["true"],
+             100 * row["lsh_ss_error"], 100 * row["lsh_s_error"]]
+            for row in rows
+        ],
+        float_format="{:.1f}",
+    )
+
+    # Spread (max - min) of the error across k, per threshold and estimator.
+    def spread(estimator_key, threshold):
+        errors = [row[estimator_key] for row in rows if row["tau"] == threshold]
+        return max(errors) - min(errors)
+
+    emit(
+        "E5_fig4_impact_k",
+        "Figure 4 — impact of k on accuracy at tau = 0.5 and 0.8 (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={
+            "lsh_ss_error_spread_tau_0.8": spread("lsh_ss_error", 0.8),
+            "lsh_s_error_spread_tau_0.8": spread("lsh_s_error", 0.8),
+        },
+    )
+
+    # LSH-SS error varies with k far less than LSH-S error at tau = 0.8.
+    assert spread("lsh_ss_error", 0.8) <= spread("lsh_s_error", 0.8)

@@ -1,0 +1,85 @@
+"""E7 — Figures 5 & 6: impact of the answer-size threshold δ in SampleL.
+
+Reproduces Appendix C.2.1: the average absolute relative error across the
+threshold grid (Figure 5) and the number of thresholds with a "big"
+error, Ĵ/J ≥ 10 or J/Ĵ ≥ 10 (Figure 6), for δ ∈ {0.5·log n, log n,
+2·log n, √n} with m fixed at n, plus RS(pop) with m = 1.5 n as the
+reference.  The paper's conclusion: very large δ (√n) is far too
+conservative and causes big underestimations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSSEstimator, RandomPairSampling
+from repro.evaluation.metrics import count_large_errors, summarize_trials
+
+THRESHOLDS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def _evaluate(estimator, histogram, num_trials):
+    """Average absolute relative error and big-error counts across the grid."""
+    absolute_errors = []
+    big_over = 0
+    big_under = 0
+    for threshold in THRESHOLDS:
+        true_size = histogram.join_size(threshold)
+        values = [
+            estimator.estimate(threshold, random_state=seed).value for seed in range(num_trials)
+        ]
+        summary = summarize_trials(values, true_size)
+        if math.isfinite(summary.mean_absolute_relative_error):
+            absolute_errors.append(summary.mean_absolute_relative_error)
+        large = count_large_errors([np.mean(values)], true_size, factor=10)
+        big_over += large["overestimates"]
+        big_under += large["underestimates"]
+    return float(np.mean(absolute_errors)), big_over, big_under
+
+
+def test_fig5_6_answer_threshold_delta(
+    benchmark, dblp_collection, dblp_index, dblp_histogram, results_dir, num_trials
+):
+    table = dblp_index.primary_table
+    n = dblp_collection.size
+    log_n = math.log2(n)
+    delta_settings = {
+        "0.5 log n": max(1, int(round(0.5 * log_n))),
+        "log n": max(1, int(round(log_n))),
+        "2 log n": max(1, int(round(2 * log_n))),
+        "sqrt(n)": max(1, int(round(math.sqrt(n)))),
+    }
+
+    def run():
+        rows = []
+        for label, delta in delta_settings.items():
+            estimator = LSHSSEstimator(table, answer_threshold=delta)
+            error, big_over, big_under = _evaluate(estimator, dblp_histogram, num_trials)
+            rows.append([f"LSH-SS δ={label}", delta, error, big_over, big_under])
+        baseline = RandomPairSampling(dblp_collection, sample_size=int(1.5 * n))
+        error, big_over, big_under = _evaluate(baseline, dblp_histogram, num_trials)
+        rows.append(["RS(pop) m=1.5n", "-", error, big_over, big_under])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["configuration", "δ", "avg |rel. error|", "# τ big overest.", "# τ big underest."],
+        rows,
+        float_format="{:.3f}",
+    )
+    emit(
+        "E7_fig5_6_delta",
+        "Figures 5 & 6 — impact of the answer-size threshold δ (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={"avg_error_delta_logn": rows[1][2], "avg_error_delta_sqrt_n": rows[3][2]},
+    )
+
+    by_label = {row[0]: row for row in rows}
+    # δ = √n is too conservative: at least as many big underestimations as δ = log n.
+    assert by_label["LSH-SS δ=sqrt(n)"][4] >= by_label["LSH-SS δ=log n"][4]

@@ -1,0 +1,91 @@
+"""E8 — Figures 7 & 8: impact of the sample size m.
+
+Reproduces Appendix C.2.2: average absolute relative error (Figure 7) and
+the number of thresholds with big errors (Figure 8) as the per-stratum
+sample size m sweeps {√n, n/log n, 0.5n, n, 2n, n·log n}, for LSH-SS and
+RS(pop) (whose budget is 1.5·m).  The paper's conclusions: m < 0.5 n
+causes serious underestimation for both algorithms, and m = n·log n
+removes LSH-SS's big errors at the cost of a log n runtime factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSSEstimator, RandomPairSampling
+from repro.evaluation.metrics import count_large_errors, summarize_trials
+
+THRESHOLDS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def _evaluate(estimator, histogram, num_trials):
+    absolute_errors = []
+    big_over = 0
+    big_under = 0
+    for threshold in THRESHOLDS:
+        true_size = histogram.join_size(threshold)
+        values = [
+            estimator.estimate(threshold, random_state=seed).value for seed in range(num_trials)
+        ]
+        summary = summarize_trials(values, true_size)
+        if math.isfinite(summary.mean_absolute_relative_error):
+            absolute_errors.append(summary.mean_absolute_relative_error)
+        large = count_large_errors([np.mean(values)], true_size, factor=10)
+        big_over += large["overestimates"]
+        big_under += large["underestimates"]
+    return float(np.mean(absolute_errors)), big_over, big_under
+
+
+def test_fig7_8_sample_size(
+    benchmark, dblp_collection, dblp_index, dblp_histogram, results_dir, num_trials
+):
+    table = dblp_index.primary_table
+    n = dblp_collection.size
+    log_n = max(math.log2(n), 1.0)
+    sample_settings = {
+        "sqrt(n)": int(round(math.sqrt(n))),
+        "n/log n": int(round(n / log_n)),
+        "0.5n": int(round(0.5 * n)),
+        "n": n,
+        "2n": 2 * n,
+        "n log n": int(round(n * log_n)),
+    }
+
+    def run():
+        rows = []
+        for label, sample_size in sample_settings.items():
+            lsh_ss = LSHSSEstimator(
+                table, sample_size_h=sample_size, sample_size_l=sample_size
+            )
+            rs = RandomPairSampling(dblp_collection, sample_size=int(1.5 * sample_size))
+            lsh_error, lsh_over, lsh_under = _evaluate(lsh_ss, dblp_histogram, num_trials)
+            rs_error, rs_over, rs_under = _evaluate(rs, dblp_histogram, num_trials)
+            rows.append(
+                [label, sample_size, lsh_error, lsh_over + lsh_under, rs_error, rs_over + rs_under]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["m", "pairs", "LSH-SS avg |err|", "LSH-SS # big", "RS avg |err|", "RS # big"],
+        rows,
+        float_format="{:.3f}",
+    )
+    emit(
+        "E8_fig7_8_sample_size",
+        "Figures 7 & 8 — impact of the sample size m (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={"lsh_ss_error_at_m_n": rows[3][2], "lsh_ss_error_at_m_nlogn": rows[5][2]},
+    )
+
+    by_label = {row[0]: row for row in rows}
+    # larger budgets should not be (meaningfully) worse than tiny budgets
+    assert by_label["n log n"][2] <= by_label["sqrt(n)"][2] + 0.25
+    # and the biggest budget removes big errors at least as well as the smallest
+    assert by_label["n log n"][3] <= by_label["sqrt(n)"][3]

@@ -1,0 +1,58 @@
+"""E10 — Figure 9: accuracy and variance on the PUBMED-like corpus (k = 5).
+
+Reproduces Appendix C.4: relative error and standard deviation for LSH-SS
+and RS(pop) on the PUBMED-like corpus with a small k = 5 (the paper's
+choice because PUBMED documents are largely dissimilar).  Expectations:
+LSH-SS shows an underestimation tendency but its standard deviation at
+high thresholds is far below RS's (the paper reports more than an order
+of magnitude).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._helpers import accuracy_series, emit
+from repro.core import LSHSSEstimator, RandomPairSampling
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.runner import records_by_estimator
+
+
+def test_fig9_pubmed_accuracy(
+    benchmark,
+    pubmed_collection,
+    pubmed_index,
+    pubmed_histogram,
+    results_dir,
+    threshold_grid,
+    num_trials,
+):
+    table = pubmed_index.primary_table
+    estimators = [LSHSSEstimator(table), RandomPairSampling(pubmed_collection)]
+    runner = ExperimentRunner(
+        pubmed_collection,
+        thresholds=threshold_grid,
+        num_trials=num_trials,
+        histogram=pubmed_histogram,
+        random_state=2,
+    )
+
+    records = benchmark.pedantic(lambda: runner.run(estimators), rounds=1, iterations=1)
+    body = accuracy_series(records, "Figure 9 — accuracy and STD on PUBMED-like (k = 5)")
+
+    grouped = records_by_estimator(records)
+    lsh = grouped["LSH-SS"]
+    rs = grouped["RS(pop)"]
+    lsh_high_std = np.mean([r.summary.std_estimate for r in lsh if r.threshold >= 0.7])
+    rs_high_std = np.mean([r.summary.std_estimate for r in rs if r.threshold >= 0.7])
+    emit(
+        "E10_fig9_pubmed",
+        "Figure 9 — accuracy and variance on PUBMED-like (k = 5)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={"lsh_ss_high_tau_std": lsh_high_std, "rs_high_tau_std": rs_high_std},
+    )
+
+    # LSH-SS spread at high thresholds is well below random sampling's.
+    assert lsh_high_std < rs_high_std

@@ -1,0 +1,42 @@
+"""E2 — §6.2 join-size / selectivity table on the DBLP-like corpus.
+
+Reproduces the table in §6.2 listing the true join size J and its
+selectivity at τ ∈ {0.1, 0.3, 0.5, 0.7, 0.9}.  The paper's point is the
+dramatic range: ~33 % selectivity at τ = 0.1 down to ~1e-7 at τ = 0.9 on
+real DBLP.  At laptop scale the range is narrower but still spans several
+orders of magnitude, which is what the estimators must cope with.
+"""
+
+from __future__ import annotations
+
+from benchmarks._helpers import emit, format_table
+
+
+def test_join_size_and_selectivity_table(benchmark, dblp_collection, dblp_histogram, results_dir):
+    thresholds = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    def run():
+        return {t: dblp_histogram.join_size(t) for t in thresholds}
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_pairs = dblp_collection.total_pairs
+
+    body = format_table(
+        ["tau", "J", "selectivity %"],
+        [
+            [f"{threshold:.1f}", size, 100.0 * size / total_pairs]
+            for threshold, size in sizes.items()
+        ],
+        float_format="{:.6g}",
+    )
+    emit(
+        "E2_join_size_table",
+        "§6.2 join size and selectivity vs threshold (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={"selectivity_0.1": sizes[0.1] / total_pairs, "selectivity_0.9": sizes[0.9] / total_pairs},
+    )
+
+    # The join size must span several orders of magnitude across the range.
+    assert sizes[0.1] > 1000 * sizes[0.9] > 0

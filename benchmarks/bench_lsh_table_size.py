@@ -1,0 +1,54 @@
+"""E6 — §6.3 table: LSH table size as a function of k.
+
+Reproduces the small table in §6.3 reporting the space occupied by an LSH
+table for k ∈ {10, 20, 30, 40, 50} (g values + bucket counts + vector
+ids, ignoring implementation overheads).  The size must grow with k
+because more hash functions create more (and therefore smaller) buckets,
+each of which stores its k-value key.
+"""
+
+from __future__ import annotations
+
+from benchmarks._helpers import emit, format_table
+from repro.lsh import LSHTable, SignRandomProjectionFamily
+
+K_VALUES = [10, 20, 30, 40, 50]
+
+
+def test_lsh_table_size_vs_k(benchmark, dblp_collection, results_dir):
+    def run():
+        rows = []
+        for num_hashes in K_VALUES:
+            family = SignRandomProjectionFamily(num_hashes, random_state=200 + num_hashes)
+            table = LSHTable(family, dblp_collection)
+            rows.append(
+                {
+                    "k": num_hashes,
+                    "buckets": table.num_buckets,
+                    "size_mb": table.memory_estimate_bytes() / 1e6,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["k", "non-empty buckets", "size (MB)"],
+        [[row["k"], row["buckets"], row["size_mb"]] for row in rows],
+        float_format="{:.3f}",
+    )
+    emit(
+        "E6_lsh_table_size",
+        "§6.3 — LSH table size vs number of hash functions k (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={"size_mb_k10": rows[0]["size_mb"], "size_mb_k50": rows[-1]["size_mb"]},
+    )
+
+    sizes = [row["size_mb"] for row in rows]
+    buckets = [row["buckets"] for row in rows]
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+    # bucket counts grow with k until they saturate near n; once saturated,
+    # different random hash draws can shift the count by a handful of buckets
+    assert all(b >= 0.99 * a for a, b in zip(buckets, buckets[1:]))

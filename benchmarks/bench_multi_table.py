@@ -1,0 +1,80 @@
+"""E13 — §B.2.1: multi-table extensions (median and virtual-bucket estimators).
+
+The paper's appendix describes two ways to exploit an ℓ-table index:
+the median estimator (more reliable, same per-table accuracy) and the
+virtual-bucket estimator (enlarged stratum H, useful when k is larger
+than the estimation problem would like).  This benchmark compares both
+against the single-table LSH-SS on the DBLP-like corpus (ℓ = 3, k = 20).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSSEstimator, MedianEstimator, VirtualBucketEstimator
+from repro.evaluation.metrics import summarize_trials
+
+THRESHOLDS = [0.3, 0.5, 0.7, 0.9]
+
+
+def test_multi_table_extensions(
+    benchmark, dblp_multi_index, dblp_histogram, results_dir, num_trials
+):
+    def run():
+        single = LSHSSEstimator(dblp_multi_index.primary_table)
+        median = MedianEstimator(dblp_multi_index, lambda table: LSHSSEstimator(table))
+        virtual = VirtualBucketEstimator(dblp_multi_index)
+        rows = []
+        spreads = {"LSH-SS (1 table)": [], "median (3 tables)": [], "virtual buckets (3 tables)": []}
+        for threshold in THRESHOLDS:
+            true_size = dblp_histogram.join_size(threshold)
+            for name, estimator in (
+                ("LSH-SS (1 table)", single),
+                ("median (3 tables)", median),
+                ("virtual buckets (3 tables)", virtual),
+            ):
+                values = [
+                    estimator.estimate(threshold, random_state=seed).value
+                    for seed in range(num_trials)
+                ]
+                summary = summarize_trials(values, true_size)
+                spreads[name].append(summary.std_estimate)
+                rows.append(
+                    [
+                        name,
+                        f"{threshold:.1f}",
+                        true_size,
+                        summary.mean_estimate,
+                        100 * summary.mean_overestimation,
+                        100 * summary.mean_underestimation,
+                        summary.std_estimate,
+                    ]
+                )
+        return rows, {name: float(np.mean(values)) for name, values in spreads.items()}
+
+    rows, mean_spreads = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["estimator", "tau", "true J", "mean est.", "overest. %", "underest. %", "STD"],
+        rows,
+        float_format="{:.1f}",
+    )
+    emit(
+        "E13_multi_table",
+        "§B.2.1 — median and virtual-bucket estimators vs single table (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info=mean_spreads,
+    )
+
+    # The median estimator's average spread should not exceed the single
+    # table's by more than a small factor (it is designed to be more reliable).
+    assert mean_spreads["median (3 tables)"] <= 1.5 * mean_spreads["LSH-SS (1 table)"]
+    # The virtual stratum H is strictly larger than a single table's stratum H.
+    virtual = VirtualBucketEstimator(dblp_multi_index)
+    assert (
+        virtual.num_virtual_collision_pairs
+        >= dblp_multi_index.primary_table.num_collision_pairs
+    )

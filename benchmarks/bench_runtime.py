@@ -1,0 +1,101 @@
+"""E12 — §6.2 runtime comparison of the estimators.
+
+The paper reports wall-clock estimation times (LSH-SS < 1s, LSH-S ~1s,
+LC ~3s, RS ~0.8s on 800K vectors).  Absolute numbers are hardware- and
+scale-dependent; what must hold is that every estimator is dramatically
+cheaper than executing the exact join, and that LSH-SS's cost is in the
+same ballpark as plain random sampling (both examine Θ(n) pairs).
+
+This benchmark uses pytest-benchmark's timing machinery directly (one
+benchmarked estimator per test) so the usual benchmark table doubles as
+the runtime comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._helpers import emit, format_table
+from repro.core import (
+    LSHSEstimator,
+    LSHSSEstimator,
+    LatticeCountingEstimator,
+    RandomPairSampling,
+    UniformityEstimator,
+)
+from repro.join import exact_join_size
+
+THRESHOLD = 0.7
+
+
+def test_runtime_lsh_ss(benchmark, dblp_index):
+    estimator = LSHSSEstimator(dblp_index.primary_table)
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_lsh_ss_dampened(benchmark, dblp_index):
+    estimator = LSHSSEstimator(dblp_index.primary_table, dampening="auto")
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_lsh_s(benchmark, dblp_index):
+    estimator = LSHSEstimator(dblp_index.primary_table)
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_random_sampling(benchmark, dblp_collection):
+    estimator = RandomPairSampling(dblp_collection)
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_uniformity(benchmark, dblp_index):
+    estimator = UniformityEstimator(dblp_index.primary_table)
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_lattice_counting_estimate(benchmark, dblp_index):
+    estimator = LatticeCountingEstimator(dblp_index.primary_table)
+    benchmark(lambda: estimator.estimate(THRESHOLD, random_state=0))
+
+
+def test_runtime_summary_vs_exact_join(
+    benchmark, dblp_collection, dblp_index, results_dir
+):
+    """Aggregate comparison including the exact join, persisted to results/."""
+
+    def run():
+        table = dblp_index.primary_table
+        estimators = {
+            "LSH-SS": LSHSSEstimator(table),
+            "LSH-S": LSHSEstimator(table),
+            "J_U": UniformityEstimator(table),
+            "LC": LatticeCountingEstimator(table),
+            "RS(pop)": RandomPairSampling(dblp_collection),
+        }
+        rows = []
+        for name, estimator in estimators.items():
+            start = time.perf_counter()
+            for seed in range(3):
+                estimator.estimate(THRESHOLD, random_state=seed)
+            elapsed = (time.perf_counter() - start) / 3
+            rows.append([name, elapsed * 1000.0])
+        start = time.perf_counter()
+        exact_join_size(dblp_collection, THRESHOLD)
+        rows.append(["exact join (oracle)", (time.perf_counter() - start) * 1000.0])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = format_table(["method", "runtime (ms)"], rows, float_format="{:.2f}")
+    emit(
+        "E12_runtime",
+        "§6.2 — estimation runtime comparison at tau = 0.7 (DBLP-like)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={row[0]: row[1] for row in rows},
+    )
+
+    runtime = {row[0]: row[1] for row in rows}
+    assert runtime["LSH-SS"] < runtime["exact join (oracle)"]

@@ -1,0 +1,62 @@
+"""E1 — Table 1: stratum probabilities on the DBLP-like corpus.
+
+Reproduces the paper's Table 1: P(T), P(T|H), P(H|T) and P(T|L) as a
+function of the similarity threshold, computed exactly on the extended
+LSH table (k = 20).  The paper's qualitative claims to verify:
+
+* P(T) collapses toward zero as τ grows (naive sampling becomes hopeless),
+* P(T|H) stays orders of magnitude above P(T) at high thresholds,
+* P(H|T) grows with τ (at high thresholds most true pairs share a bucket),
+* P(T|L) tracks P(T) (stratum L behaves like the whole population).
+"""
+
+from __future__ import annotations
+
+from benchmarks._helpers import emit, format_table
+from repro.evaluation import empirical_stratum_probabilities
+
+
+def test_table1_stratum_probabilities(
+    benchmark, dblp_index, dblp_histogram, results_dir, threshold_grid
+):
+    table = dblp_index.primary_table
+
+    def run():
+        return empirical_stratum_probabilities(
+            table, threshold_grid, histogram=dblp_histogram
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    body = format_table(
+        ["tau", "P(T)", "P(T|H)", "P(H|T)", "P(T|L)", "J", "N_H"],
+        [
+            [
+                f"{row.threshold:.1f}",
+                row.probability_true,
+                row.probability_true_given_h,
+                row.probability_h_given_true,
+                row.probability_true_given_l,
+                row.join_size,
+                row.num_collision_pairs,
+            ]
+            for row in rows
+        ],
+    )
+    emit(
+        "E1_table1_probabilities",
+        "Table 1 — stratum probabilities vs threshold (DBLP-like, k=20)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={
+            "alpha_at_0.9": rows[-1].probability_true_given_h,
+            "h_given_t_at_0.9": rows[-1].probability_h_given_true,
+        },
+    )
+
+    # Qualitative assertions mirroring the paper's reading of Table 1.
+    by_threshold = {round(row.threshold, 1): row for row in rows}
+    assert by_threshold[0.9].probability_true < 1e-3
+    assert by_threshold[0.9].probability_true_given_h > 100 * by_threshold[0.9].probability_true
+    assert by_threshold[0.9].probability_h_given_true > by_threshold[0.3].probability_h_given_true

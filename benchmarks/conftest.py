@@ -1,0 +1,131 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper (see
+DESIGN.md §4 for the experiment index).  The corpora are synthetic
+analogues of DBLP / NYT / PUBMED at laptop scale; their sizes and the
+number of trials can be adjusted through environment variables:
+
+* ``REPRO_BENCH_DBLP_N``    (default 3000)
+* ``REPRO_BENCH_NYT_N``     (default 2000)
+* ``REPRO_BENCH_PUBMED_N``  (default 2000)
+* ``REPRO_BENCH_TRIALS``    (default 10; the paper uses 100)
+
+Each benchmark prints the rows/series the corresponding figure reports
+and also writes them to ``benchmarks/results/<experiment>.md`` so the
+output survives the pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import make_dblp_like, make_nyt_like, make_pubmed_like
+from repro.join.histogram import SimilarityHistogram
+from repro.lsh import LSHIndex
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+THRESHOLD_GRID = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def num_trials() -> int:
+    return _env_int("REPRO_BENCH_TRIALS", 10)
+
+
+@pytest.fixture(scope="session")
+def threshold_grid():
+    return list(THRESHOLD_GRID)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+# --- DBLP-like ---------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def dblp_corpus():
+    return make_dblp_like(num_vectors=_env_int("REPRO_BENCH_DBLP_N", 3000), random_state=7)
+
+
+@pytest.fixture(scope="session")
+def dblp_collection(dblp_corpus):
+    return dblp_corpus.collection
+
+
+@pytest.fixture(scope="session")
+def dblp_histogram(dblp_collection):
+    return SimilarityHistogram(dblp_collection)
+
+
+@pytest.fixture(scope="session")
+def dblp_index(dblp_collection):
+    """The paper's default configuration for DBLP: k = 20, one table."""
+    return LSHIndex(dblp_collection, num_hashes=20, num_tables=1, random_state=42)
+
+
+@pytest.fixture(scope="session")
+def dblp_multi_index(dblp_collection):
+    """A 3-table index for the multi-table extension benchmarks (§B.2.1)."""
+    return LSHIndex(dblp_collection, num_hashes=20, num_tables=3, random_state=43)
+
+
+# --- NYT-like ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def nyt_corpus():
+    return make_nyt_like(num_vectors=_env_int("REPRO_BENCH_NYT_N", 2000), random_state=11)
+
+
+@pytest.fixture(scope="session")
+def nyt_collection(nyt_corpus):
+    return nyt_corpus.collection
+
+
+@pytest.fixture(scope="session")
+def nyt_histogram(nyt_collection):
+    return SimilarityHistogram(nyt_collection)
+
+
+@pytest.fixture(scope="session")
+def nyt_index(nyt_collection):
+    return LSHIndex(nyt_collection, num_hashes=20, num_tables=1, random_state=44)
+
+
+# --- PUBMED-like -------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def pubmed_corpus():
+    return make_pubmed_like(num_vectors=_env_int("REPRO_BENCH_PUBMED_N", 2000), random_state=13)
+
+
+@pytest.fixture(scope="session")
+def pubmed_collection(pubmed_corpus):
+    return pubmed_corpus.collection
+
+
+@pytest.fixture(scope="session")
+def pubmed_histogram(pubmed_collection):
+    return SimilarityHistogram(pubmed_collection)
+
+
+@pytest.fixture(scope="session")
+def pubmed_index(pubmed_collection):
+    """The paper uses k = 5 for PUBMED (Appendix C.4)."""
+    return LSHIndex(pubmed_collection, num_hashes=5, num_tables=1, random_state=45)

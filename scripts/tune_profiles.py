@@ -1,0 +1,109 @@
+"""Internal tuning helper: inspect synthetic-profile regime properties.
+
+Run with ``python scripts/tune_profiles.py`` to print, per profile, the
+true join sizes, the stratum probabilities (Table-1 style) and a quick
+LSH-SS accuracy check.  Used while calibrating the dataset profiles so
+that the scaled-down corpora exhibit the high/low-threshold regimes the
+paper's analysis distinguishes (DESIGN.md, fidelity notes).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import LSHSSEstimator, RandomPairSampling
+from repro.datasets.synthetic import (
+    PlantedClusterSpec,
+    SyntheticCorpusConfig,
+    generate_corpus,
+)
+from repro.evaluation import empirical_stratum_probabilities
+from repro.join.histogram import SimilarityHistogram
+from repro.lsh import LSHIndex
+
+
+def inspect(name: str, config: SyntheticCorpusConfig, *, num_hashes: int = 20, seed: int = 0) -> None:
+    start = time.time()
+    corpus = generate_corpus(config, random_state=seed)
+    collection = corpus.collection
+    histogram = SimilarityHistogram(collection)
+    index = LSHIndex(collection, num_hashes=num_hashes, random_state=seed + 1)
+    table = index.primary_table
+    n = collection.size
+    thresholds = [0.1, 0.3, 0.5, 0.7, 0.9]
+    probabilities = empirical_stratum_probabilities(table, thresholds, histogram=histogram)
+    print(f"== {name}: n={n} avg_features={collection.nnz_per_row.mean():.1f} "
+          f"NH={table.num_collision_pairs} M={collection.total_pairs} "
+          f"log n/n={np.log2(n)/n:.2e} 1/n={1/n:.2e} ({time.time()-start:.1f}s)")
+    for item in probabilities:
+        print(f"   tau={item.threshold:.1f} J={item.join_size:>8d} "
+              f"P(T|H)={item.probability_true_given_h:.3f} "
+              f"P(H|T)={item.probability_h_given_true:.3f} "
+              f"P(T|L)={item.probability_true_given_l:.2e}")
+    estimator = LSHSSEstimator(table)
+    dampened = LSHSSEstimator(table, dampening="auto")
+    baseline = RandomPairSampling(collection)
+    for threshold in thresholds:
+        true_size = histogram.join_size(threshold)
+        values = [estimator.estimate(threshold, random_state=s).value for s in range(8)]
+        dampened_values = [dampened.estimate(threshold, random_state=s).value for s in range(8)]
+        baseline_values = [baseline.estimate(threshold, random_state=s).value for s in range(8)]
+        print(f"   tau={threshold:.1f} true={true_size:>8d} "
+              f"LSH-SS={np.mean(values):>9.0f}±{np.std(values):<9.0f} "
+              f"LSH-SS(D)={np.mean(dampened_values):>9.0f} "
+              f"RS={np.mean(baseline_values):>9.0f}±{np.std(baseline_values):<9.0f}")
+
+
+def dblp_config(num_vectors: int) -> SyntheticCorpusConfig:
+    return SyntheticCorpusConfig(
+        num_vectors=num_vectors,
+        vocabulary_size=max(1000, 8 * num_vectors),
+        zipf_exponent=0.9,
+        mean_length=14.0,
+        min_length=3,
+        weighting="binary",
+        planted_clusters=(
+            PlantedClusterSpec(0.08, (1, 3), (0.0, 0.0, 0.02, 0.05, 0.1)),
+            PlantedClusterSpec(0.30, (20, 35), (0.35, 0.45, 0.55, 0.65)),
+        ),
+    )
+
+
+def nyt_config(num_vectors: int) -> SyntheticCorpusConfig:
+    return SyntheticCorpusConfig(
+        num_vectors=num_vectors,
+        vocabulary_size=max(2000, 5 * num_vectors),
+        zipf_exponent=1.05,
+        mean_length=60.0,
+        min_length=10,
+        weighting="tfidf",
+        planted_clusters=(
+            PlantedClusterSpec(0.08, (1, 3), (0.0, 0.0, 0.02, 0.05)),
+            PlantedClusterSpec(0.30, (20, 35), (0.35, 0.45, 0.55, 0.65)),
+        ),
+    )
+
+
+def pubmed_config(num_vectors: int) -> SyntheticCorpusConfig:
+    return SyntheticCorpusConfig(
+        num_vectors=num_vectors,
+        vocabulary_size=max(3000, 12 * num_vectors),
+        zipf_exponent=1.0,
+        mean_length=40.0,
+        min_length=8,
+        weighting="tfidf",
+        planted_clusters=(
+            PlantedClusterSpec(0.05, (1, 2), (0.0, 0.02, 0.05)),
+            PlantedClusterSpec(0.20, (15, 30), (0.4, 0.5, 0.6)),
+        ),
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    inspect("DBLP-like", dblp_config(size), num_hashes=20)
+    inspect("NYT-like", nyt_config(size // 2), num_hashes=20)
+    inspect("PUBMED-like", pubmed_config(size // 2), num_hashes=5)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so the package can be installed in environments without the
+``wheel`` package (``pip install -e . --no-use-pep517``), e.g. fully
+offline machines.
+"""
+
+from setuptools import setup
+
+setup()

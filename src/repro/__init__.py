@@ -1,0 +1,148 @@
+"""repro — Similarity Join Size Estimation using Locality Sensitive Hashing.
+
+A from-scratch reproduction of Lee, Ng & Shim (PVLDB 4(6), 2011).  The
+library estimates the size of a vector similarity self-join or general
+join — ``|{(u, v): cos(u, v) ≥ τ}|`` — using an LSH index extended with
+bucket counts, without executing the join.
+
+Quickstart
+----------
+>>> from repro import make_dblp_like, LSHIndex, LSHSSEstimator, exact_join_size
+>>> corpus = make_dblp_like(num_vectors=1000, random_state=0)
+>>> index = LSHIndex(corpus.collection, num_hashes=20, random_state=0)
+>>> estimator = LSHSSEstimator(index.primary_table)
+>>> estimate = estimator.estimate(0.8, random_state=0)
+>>> true_size = exact_join_size(corpus.collection, 0.8)
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
+system inventory and ``EXPERIMENTS.md`` for the per-figure reproduction
+results.
+"""
+
+from repro.errors import (
+    EstimationError,
+    IndexNotBuiltError,
+    InsufficientSampleError,
+    ReproError,
+    ValidationError,
+)
+from repro.rng import ensure_rng
+from repro.vectors import (
+    TfidfVectorizer,
+    Tokenizer,
+    VectorCollection,
+    Vocabulary,
+    cosine_pairs,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    jaccard_similarity,
+)
+from repro.lsh import (
+    LSHIndex,
+    LSHTable,
+    MinHashFamily,
+    PStableL2Family,
+    SignRandomProjectionFamily,
+)
+from repro.join import (
+    SimilarityHistogram,
+    all_pairs_join,
+    exact_general_join_size,
+    exact_join_size,
+    exact_join_sizes,
+    jaccard_set_join,
+)
+from repro.datasets import (
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+    generate_corpus,
+    make_dblp_like,
+    make_nyt_like,
+    make_pubmed_like,
+)
+from repro.core import (
+    CrossSampling,
+    Estimate,
+    GeneralLSHSSEstimator,
+    GeneralRandomPairSampling,
+    LSHSEstimator,
+    LSHSSEstimator,
+    LatticeCountingEstimator,
+    MedianEstimator,
+    PairedLSHTable,
+    RandomPairSampling,
+    SimilarityJoinSizeEstimator,
+    UniformityEstimator,
+    VirtualBucketEstimator,
+    optimal_num_hashes,
+)
+from repro.evaluation import (
+    ExperimentRunner,
+    SweepRecord,
+    alpha_beta_table,
+    empirical_stratum_probabilities,
+    summarize_trials,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors / rng
+    "ReproError",
+    "ValidationError",
+    "EstimationError",
+    "InsufficientSampleError",
+    "IndexNotBuiltError",
+    "ensure_rng",
+    # vectors
+    "VectorCollection",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "cosine_pairs",
+    "jaccard_similarity",
+    "Tokenizer",
+    "Vocabulary",
+    "TfidfVectorizer",
+    # lsh
+    "SignRandomProjectionFamily",
+    "MinHashFamily",
+    "PStableL2Family",
+    "LSHTable",
+    "LSHIndex",
+    # join
+    "exact_join_size",
+    "exact_join_sizes",
+    "exact_general_join_size",
+    "SimilarityHistogram",
+    "all_pairs_join",
+    "jaccard_set_join",
+    # datasets
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+    "generate_corpus",
+    "make_dblp_like",
+    "make_nyt_like",
+    "make_pubmed_like",
+    # estimators
+    "Estimate",
+    "SimilarityJoinSizeEstimator",
+    "RandomPairSampling",
+    "CrossSampling",
+    "UniformityEstimator",
+    "LSHSEstimator",
+    "LSHSSEstimator",
+    "LatticeCountingEstimator",
+    "MedianEstimator",
+    "VirtualBucketEstimator",
+    "PairedLSHTable",
+    "GeneralLSHSSEstimator",
+    "GeneralRandomPairSampling",
+    "optimal_num_hashes",
+    # evaluation
+    "ExperimentRunner",
+    "SweepRecord",
+    "empirical_stratum_probabilities",
+    "alpha_beta_table",
+    "summarize_trials",
+]

@@ -1,0 +1,203 @@
+"""Command-line interface for quick estimates and sweeps.
+
+The CLI wraps the most common workflows so the library can be exercised
+without writing code::
+
+    python -m repro estimate --profile dblp --num-vectors 2000 --threshold 0.8
+    python -m repro sweep    --profile nyt  --num-vectors 1500 --trials 5
+    python -m repro probabilities --profile dblp --num-vectors 2000
+
+Sub-commands
+------------
+``estimate``
+    Build the chosen synthetic profile, index it, and print one estimate
+    per requested estimator next to the exact join size.
+``sweep``
+    Run the full accuracy sweep (the Figure-2 methodology) over a
+    threshold grid and print the error/variance table.
+``probabilities``
+    Print the Table-1 stratum probabilities for the chosen profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import (
+    CrossSampling,
+    LSHSEstimator,
+    LSHSSEstimator,
+    LatticeCountingEstimator,
+    RandomPairSampling,
+    SimilarityJoinSizeEstimator,
+    UniformityEstimator,
+)
+from repro.datasets import make_dblp_like, make_nyt_like, make_pubmed_like
+from repro.errors import ValidationError
+from repro.evaluation import ExperimentRunner, empirical_stratum_probabilities
+from repro.evaluation.report import format_table, series_table
+from repro.join.histogram import SimilarityHistogram
+from repro.lsh import LSHIndex
+
+_PROFILES = {
+    "dblp": make_dblp_like,
+    "nyt": make_nyt_like,
+    "pubmed": make_pubmed_like,
+}
+
+_ESTIMATOR_CHOICES = ("lsh-ss", "lsh-ss-d", "lsh-s", "ju", "lc", "rs", "rs-cross")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity join size estimation using LSH (VLDB 2011 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--profile", choices=sorted(_PROFILES), default="dblp",
+                         help="synthetic corpus profile (default: dblp)")
+        sub.add_argument("--num-vectors", type=int, default=2000,
+                         help="collection size n (default: 2000)")
+        sub.add_argument("--num-hashes", type=int, default=20,
+                         help="hash functions per LSH table, k (default: 20)")
+        sub.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+
+    estimate = subparsers.add_parser("estimate", help="one estimate per estimator at a threshold")
+    add_common(estimate)
+    estimate.add_argument("--threshold", type=float, required=True, help="similarity threshold τ")
+    estimate.add_argument(
+        "--estimators",
+        nargs="+",
+        choices=_ESTIMATOR_CHOICES,
+        default=["lsh-ss", "rs"],
+        help="estimators to run (default: lsh-ss rs)",
+    )
+    estimate.add_argument("--no-exact", action="store_true",
+                          help="skip computing the exact join size")
+
+    sweep = subparsers.add_parser("sweep", help="accuracy sweep over a threshold grid")
+    add_common(sweep)
+    sweep.add_argument("--thresholds", type=float, nargs="+",
+                       default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    sweep.add_argument("--trials", type=int, default=5, help="trials per cell (default: 5)")
+    sweep.add_argument(
+        "--estimators",
+        nargs="+",
+        choices=_ESTIMATOR_CHOICES,
+        default=["lsh-ss", "lsh-ss-d", "rs"],
+    )
+
+    probabilities = subparsers.add_parser(
+        "probabilities", help="Table-1 stratum probabilities for a profile"
+    )
+    add_common(probabilities)
+    probabilities.add_argument("--thresholds", type=float, nargs="+",
+                               default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    return parser
+
+
+def _build_collection(args: argparse.Namespace):
+    factory = _PROFILES[args.profile]
+    corpus = factory(num_vectors=args.num_vectors, random_state=args.seed)
+    return corpus.collection
+
+
+def _build_estimators(
+    names: Sequence[str], collection, index: LSHIndex
+) -> List[SimilarityJoinSizeEstimator]:
+    table = index.primary_table
+    registry: Dict[str, SimilarityJoinSizeEstimator] = {
+        "lsh-ss": LSHSSEstimator(table),
+        "lsh-ss-d": LSHSSEstimator(table, dampening="auto"),
+        "lsh-s": LSHSEstimator(table),
+        "ju": UniformityEstimator(table),
+        "lc": LatticeCountingEstimator(table),
+        "rs": RandomPairSampling(collection),
+        "rs-cross": CrossSampling(collection),
+    }
+    missing = [name for name in names if name not in registry]
+    if missing:
+        raise ValidationError(f"unknown estimator name(s): {missing}")
+    return [registry[name] for name in names]
+
+
+def _command_estimate(args: argparse.Namespace) -> str:
+    collection = _build_collection(args)
+    index = LSHIndex(collection, num_hashes=args.num_hashes, random_state=args.seed + 1)
+    estimators = _build_estimators(args.estimators, collection, index)
+    rows = []
+    for estimator in estimators:
+        estimate = estimator.estimate(args.threshold, random_state=args.seed)
+        rows.append([estimator.name, estimate.value])
+    if not args.no_exact:
+        from repro.join import exact_join_size
+
+        rows.append(["exact join", float(exact_join_size(collection, args.threshold))])
+    return format_table(
+        ["method", f"estimated J(τ={args.threshold})"], rows, float_format="{:.1f}",
+        title=f"{args.profile} profile, n={collection.size}, k={args.num_hashes}",
+    )
+
+
+def _command_sweep(args: argparse.Namespace) -> str:
+    collection = _build_collection(args)
+    index = LSHIndex(collection, num_hashes=args.num_hashes, random_state=args.seed + 1)
+    estimators = _build_estimators(args.estimators, collection, index)
+    runner = ExperimentRunner(
+        collection,
+        thresholds=args.thresholds,
+        num_trials=args.trials,
+        random_state=args.seed,
+    )
+    records = runner.run(estimators)
+    return series_table(
+        records,
+        title=f"Accuracy sweep — {args.profile} profile, n={collection.size}, "
+        f"k={args.num_hashes}, {args.trials} trials",
+    )
+
+
+def _command_probabilities(args: argparse.Namespace) -> str:
+    collection = _build_collection(args)
+    index = LSHIndex(collection, num_hashes=args.num_hashes, random_state=args.seed + 1)
+    histogram = SimilarityHistogram(collection)
+    rows = empirical_stratum_probabilities(
+        index.primary_table, args.thresholds, histogram=histogram
+    )
+    return format_table(
+        ["tau", "P(T)", "P(T|H)", "P(H|T)", "P(T|L)", "J"],
+        [
+            [f"{row.threshold:.2f}", row.probability_true, row.probability_true_given_h,
+             row.probability_h_given_true, row.probability_true_given_l, row.join_size]
+            for row in rows
+        ],
+        title=f"Stratum probabilities — {args.profile} profile, n={collection.size}, "
+        f"k={args.num_hashes}",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "estimate":
+            output = _command_estimate(args)
+        elif args.command == "sweep":
+            output = _command_sweep(args)
+        else:
+            output = _command_probabilities(args)
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's contribution: similarity-join size estimators.
+
+Estimators (all implement :class:`~repro.core.base.SimilarityJoinSizeEstimator`):
+
+* :class:`~repro.core.random_sampling.RandomPairSampling` — RS(pop), §3.1.
+* :class:`~repro.core.random_sampling.CrossSampling` — RS(cross), §3.1.
+* :class:`~repro.core.uniform.UniformityEstimator` — J_U, the closed-form
+  estimator under the uniformity assumption (Eq. 4, §4.2).
+* :class:`~repro.core.lsh_s.LSHSEstimator` — LSH-S, which replaces the
+  uniformity assumption with sample-weighted conditional probabilities
+  (Eqs. 5–6, §4.3).
+* :class:`~repro.core.lsh_ss.LSHSSEstimator` — LSH-SS, the stratified
+  sampling estimator (Algorithm 1, §5), including the dampened variant
+  LSH-SS(D).
+* :class:`~repro.core.lattice_counting.LatticeCountingEstimator` — the
+  Lattice-Counting adaptation (§3.2).
+* :class:`~repro.core.multi_table.MedianEstimator` and
+  :class:`~repro.core.multi_table.VirtualBucketEstimator` — multi-table
+  extensions (§B.2.1).
+* :mod:`~repro.core.general_join` — non-self-join variants (§B.2.2).
+"""
+
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.core.analysis import (
+    collision_joint_probabilities,
+    conditional_collision_probabilities,
+    optimal_num_hashes,
+    transform_threshold,
+    uniformity_estimate,
+)
+from repro.core.random_sampling import CrossSampling, RandomPairSampling
+from repro.core.uniform import UniformityEstimator
+from repro.core.lsh_s import LSHSEstimator
+from repro.core.lsh_ss import LSHSSEstimator
+from repro.core.lattice_counting import LatticeCountingEstimator
+from repro.core.multi_table import MedianEstimator, VirtualBucketEstimator
+from repro.core.general_join import (
+    GeneralLSHSSEstimator,
+    GeneralRandomPairSampling,
+    PairedLSHTable,
+)
+
+__all__ = [
+    "Estimate",
+    "SimilarityJoinSizeEstimator",
+    "collision_joint_probabilities",
+    "conditional_collision_probabilities",
+    "transform_threshold",
+    "uniformity_estimate",
+    "optimal_num_hashes",
+    "RandomPairSampling",
+    "CrossSampling",
+    "UniformityEstimator",
+    "LSHSEstimator",
+    "LSHSSEstimator",
+    "LatticeCountingEstimator",
+    "MedianEstimator",
+    "VirtualBucketEstimator",
+    "PairedLSHTable",
+    "GeneralLSHSSEstimator",
+    "GeneralRandomPairSampling",
+]

@@ -1,0 +1,220 @@
+"""Closed-form LSH collision analysis (Figure 1, Appendix A.1, §B.1).
+
+Under the idealised LSH property of Definition 3 the per-hash collision
+probability equals the pair similarity ``s``, so the probability that a
+pair lands in the same bucket of a ``k``-hash table is ``f(s) = s^k``.
+Treating the similarity of a random pair as uniform on ``[0, 1]`` (the
+"uniformity assumption" of §4.2) the four joint probabilities of Figure 1
+are simple integrals, giving the conditional probabilities of Eqs. (8)–(9)
+and the closed-form estimator J_U of Eq. (4).
+
+For cosine similarity with Charikar's sign-random-projection family the
+idealised property holds for the *angular* similarity
+``1 − arccos(cos)/π``; :func:`transform_threshold` maps cosine thresholds
+into that space before applying the formulas (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.vectors.similarity import cosine_to_angular_collision
+
+CollisionModel = Literal["ideal", "angular"]
+"""``"ideal"``: Definition 3 holds for the raw similarity.  ``"angular"``:
+the similarity is cosine and the family is sign-random-projection, so the
+per-hash collision probability is ``1 − arccos(s)/π``."""
+
+
+def transform_threshold(threshold: float, collision_model: CollisionModel = "angular") -> float:
+    """Map a similarity threshold into per-hash collision-probability space."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValidationError(f"threshold must be in (0, 1], got {threshold}")
+    if collision_model == "ideal":
+        return float(threshold)
+    if collision_model == "angular":
+        return float(cosine_to_angular_collision(threshold))
+    raise ValidationError(
+        f"collision_model must be 'ideal' or 'angular', got {collision_model!r}"
+    )
+
+
+def transform_similarities(
+    similarities: np.ndarray, collision_model: CollisionModel = "angular"
+) -> np.ndarray:
+    """Vectorised :func:`transform_threshold` for sampled pair similarities."""
+    if collision_model == "ideal":
+        return np.clip(np.asarray(similarities, dtype=np.float64), 0.0, 1.0)
+    if collision_model == "angular":
+        return np.asarray(cosine_to_angular_collision(np.asarray(similarities)), dtype=np.float64)
+    raise ValidationError(
+        f"collision_model must be 'ideal' or 'angular', got {collision_model!r}"
+    )
+
+
+@dataclass(frozen=True)
+class CollisionJointProbabilities:
+    """The four areas of Figure 1 for a threshold ``τ`` and ``k`` hashes."""
+
+    same_bucket_false: float  #: P(H ∩ F) — false pairs that collide
+    same_bucket_true: float  #: P(H ∩ T) — true pairs that collide
+    different_bucket_false: float  #: P(L ∩ F)
+    different_bucket_true: float  #: P(L ∩ T)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "P(H∩F)": self.same_bucket_false,
+            "P(H∩T)": self.same_bucket_true,
+            "P(L∩F)": self.different_bucket_false,
+            "P(L∩T)": self.different_bucket_true,
+        }
+
+
+def collision_joint_probabilities(threshold: float, num_hashes: int) -> CollisionJointProbabilities:
+    """Appendix A.1: the four areas under/over ``f(s) = s^k`` split at ``τ``.
+
+    ``threshold`` must already be expressed in collision-probability space
+    (apply :func:`transform_threshold` first for cosine thresholds).
+    """
+    _validate_inputs(threshold, num_hashes)
+    tau = float(threshold)
+    k = int(num_hashes)
+    tau_power = tau ** (k + 1)
+    same_false = tau_power / (k + 1)
+    same_true = (1.0 - tau_power) / (k + 1)
+    different_false = tau - same_false
+    different_true = (1.0 - tau) - same_true
+    return CollisionJointProbabilities(
+        same_bucket_false=same_false,
+        same_bucket_true=same_true,
+        different_bucket_false=max(different_false, 0.0),
+        different_bucket_true=max(different_true, 0.0),
+    )
+
+
+def conditional_collision_probabilities(threshold: float, num_hashes: int) -> Dict[str, float]:
+    """Eqs. (8) and (9): ``P(H|T)`` and ``P(H|F)`` under the uniformity assumption.
+
+    ``P(H|T) = Σ_{i=0}^{k} τ^i / (k + 1)`` and ``P(H|F) = τ^k / (k + 1)``.
+    """
+    _validate_inputs(threshold, num_hashes)
+    tau = float(threshold)
+    k = int(num_hashes)
+    powers = tau ** np.arange(0, k + 1)
+    probability_h_given_t = float(powers.sum() / (k + 1))
+    probability_h_given_f = float(tau**k / (k + 1))
+    return {"P(H|T)": probability_h_given_t, "P(H|F)": probability_h_given_f}
+
+
+def estimate_from_conditionals(
+    num_collision_pairs: float,
+    total_pairs: float,
+    probability_h_given_t: float,
+    probability_h_given_f: float,
+) -> float:
+    """Equation (1): ``N̂_T = (N_H − M·P(H|F)) / (P(H|T) − P(H|F))``.
+
+    The result is clamped to ``[0, M]``; a non-positive denominator (the
+    bucket structure carries no signal) returns 0.
+    """
+    if total_pairs < 0 or num_collision_pairs < 0:
+        raise ValidationError("pair counts must be non-negative")
+    denominator = probability_h_given_t - probability_h_given_f
+    if denominator <= 0.0:
+        return 0.0
+    value = (num_collision_pairs - total_pairs * probability_h_given_f) / denominator
+    return float(min(max(value, 0.0), total_pairs))
+
+
+def uniformity_estimate(
+    num_collision_pairs: float, total_pairs: float, threshold: float, num_hashes: int
+) -> float:
+    """Equation (4): the closed-form J_U estimator.
+
+    ``Ĵ_U = ((k + 1)·N_H − τ^k·M) / Σ_{i=0}^{k−1} τ^i`` with the result
+    clamped to the feasible range ``[0, M]``.
+    """
+    _validate_inputs(threshold, num_hashes)
+    tau = float(threshold)
+    k = int(num_hashes)
+    denominator = float((tau ** np.arange(0, k)).sum())
+    if denominator <= 0.0:
+        return 0.0
+    value = ((k + 1) * num_collision_pairs - (tau**k) * total_pairs) / denominator
+    return float(min(max(value, 0.0), total_pairs))
+
+
+def empirical_precision(
+    similarities: np.ndarray,
+    threshold: float,
+    num_hashes: int,
+) -> float:
+    """``P(T|H)`` implied by a sample/bank of pair similarities.
+
+    Given pair similarities ``s`` (in collision-probability space), each
+    pair lands in the same bucket with probability ``s^k``; the precision
+    of the bucket stratum is therefore
+    ``Σ_{s ≥ τ} s^k / Σ_all s^k`` — the quantity the Optimal-k problem
+    (Definition 4) constrains.
+    """
+    _validate_inputs(threshold, num_hashes)
+    values = np.clip(np.asarray(similarities, dtype=np.float64), 0.0, 1.0)
+    if values.size == 0:
+        raise ValidationError("at least one similarity value is required")
+    weights = values ** int(num_hashes)
+    total = float(weights.sum())
+    if total <= 0.0:
+        return 0.0
+    return float(weights[values >= threshold].sum() / total)
+
+
+def optimal_num_hashes(
+    similarities: Sequence[float] | np.ndarray,
+    threshold: float,
+    *,
+    target_precision: float = 0.1,
+    max_hashes: int = 64,
+) -> Optional[int]:
+    """The Optimal-k problem (Definition 4, §B.1).
+
+    Find the smallest ``k`` such that the implied ``P(T|H)`` reaches
+    ``target_precision`` for the given (sampled or exact) similarity
+    distribution.  Returns ``None`` when no ``k ≤ max_hashes`` reaches the
+    target — e.g. when there are no true pairs at all.
+
+    Smaller ``k`` increases recall ``P(H|T)`` and shrinks hashing cost, so
+    the minimiser is the cheapest table that is still precise enough.
+    """
+    if not 0.0 < target_precision <= 1.0:
+        raise ValidationError("target_precision must be in (0, 1]")
+    if max_hashes < 1:
+        raise ValidationError("max_hashes must be >= 1")
+    for num_hashes in range(1, max_hashes + 1):
+        if empirical_precision(np.asarray(similarities), threshold, num_hashes) >= target_precision:
+            return num_hashes
+    return None
+
+
+def _validate_inputs(threshold: float, num_hashes: int) -> None:
+    if not 0.0 < threshold <= 1.0:
+        raise ValidationError(f"threshold must be in (0, 1], got {threshold}")
+    if num_hashes < 1:
+        raise ValidationError(f"num_hashes (k) must be >= 1, got {num_hashes}")
+
+
+__all__ = [
+    "CollisionModel",
+    "CollisionJointProbabilities",
+    "transform_threshold",
+    "transform_similarities",
+    "collision_joint_probabilities",
+    "conditional_collision_probabilities",
+    "estimate_from_conditionals",
+    "uniformity_estimate",
+    "empirical_precision",
+    "optimal_num_hashes",
+]

@@ -1,0 +1,102 @@
+"""Estimator interface and result type shared by every estimator."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import ValidationError
+from repro.rng import RandomState
+
+
+@dataclass
+class Estimate:
+    """The outcome of one size-estimation call.
+
+    Attributes
+    ----------
+    value:
+        The estimated join size ``Ĵ`` (never negative).
+    estimator:
+        Name of the estimator that produced the value.
+    threshold:
+        The similarity threshold ``τ`` the estimate is for.
+    details:
+        Estimator-specific diagnostics (per-stratum contributions, sample
+        counts, whether adaptive sampling terminated reliably, …).  Keys
+        are stable per estimator and documented on the estimator class.
+    """
+
+    value: float
+    estimator: str
+    threshold: float
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def relative_error(self, true_size: float) -> float:
+        """Signed relative error ``(Ĵ − J) / J`` against a known true size.
+
+        Positive values are overestimations, negative values
+        underestimations (bounded below by −1).  A true size of zero with
+        a zero estimate is defined as zero error; a positive estimate of
+        an empty join returns ``inf``.
+        """
+        if true_size < 0:
+            raise ValidationError("true_size must be non-negative")
+        if true_size == 0:
+            return 0.0 if self.value == 0 else float("inf")
+        return (self.value - true_size) / true_size
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+
+class SimilarityJoinSizeEstimator(abc.ABC):
+    """Base class of every join-size estimator.
+
+    Subclasses implement :meth:`_estimate`; the public :meth:`estimate`
+    validates the threshold, clamps the result to the feasible range
+    ``[0, M]`` and wraps it into an :class:`Estimate`.
+    """
+
+    #: Human-readable estimator name used in reports (e.g. ``"LSH-SS"``).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def total_pairs(self) -> int:
+        """The number of candidate pairs ``M`` of the underlying join."""
+
+    @abc.abstractmethod
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        """Produce the raw estimate for a validated ``threshold``."""
+
+    def estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        """Estimate the join size at similarity threshold ``threshold``.
+
+        Parameters
+        ----------
+        threshold:
+            Similarity threshold ``τ`` in ``(0, 1]``.
+        random_state:
+            Seed or generator for the stochastic estimators; deterministic
+            estimators ignore it.
+        """
+        self.validate_threshold(threshold)
+        estimate = self._estimate(float(threshold), random_state=random_state)
+        estimate.value = float(min(max(estimate.value, 0.0), float(self.total_pairs)))
+        return estimate
+
+    @staticmethod
+    def validate_threshold(threshold: float) -> None:
+        """Raise :class:`ValidationError` unless ``threshold ∈ (0, 1]``."""
+        if not 0.0 < threshold <= 1.0:
+            raise ValidationError(
+                f"similarity threshold must be in (0, 1], got {threshold}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+__all__ = ["Estimate", "SimilarityJoinSizeEstimator"]

@@ -1,0 +1,274 @@
+"""Non-self joins: the general VSJ problem (Definition 5, §B.2.2).
+
+For a join between two collections ``U`` and ``V`` the same hash
+functions ``g`` build two tables ``D_g`` (on ``U``) and ``E_g`` (on ``V``).
+A pair ``(u, v)`` belongs to stratum H when the two buckets share the same
+``g`` value; the number of such pairs is ``N_H = Σ_j b_j · c_j`` over
+matching buckets.  SampleH draws a matching bucket pair weighted by
+``b_j · c_j`` and one vector from each side; SampleL draws uniform cross
+pairs and rejects colliding ones.  Everything else — adaptive sampling,
+the safe lower bound, dampening — is shared with the self-join estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.core.lsh_ss import (
+    Dampening,
+    default_answer_threshold,
+    default_sample_size,
+    sample_stratum_h,
+    sample_stratum_l,
+)
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.lsh.families import LSHFamily
+from repro.lsh.signatures import signature_keys
+from repro.rng import RandomState, ensure_rng
+from repro.vectors.collection import VectorCollection
+from repro.vectors.similarity import cosine_pairs
+
+
+class PairedLSHTable:
+    """Two LSH tables over different collections sharing the same ``g``.
+
+    Parameters
+    ----------
+    family:
+        The hash-function family instance (its random functions are shared
+        by both sides, which is what makes bucket keys comparable).
+    left, right:
+        The two vector collections ``U`` and ``V``.
+    """
+
+    def __init__(self, family: LSHFamily, left: VectorCollection, right: VectorCollection):
+        if left.dimension != right.dimension:
+            raise ValidationError("both collections must share a dimension")
+        self.family = family
+        self.left = left
+        self.right = right
+        left_signatures = family.hash_collection(left)
+        right_signatures = family.hash_collection(right)
+        self._left_keys = signature_keys(left_signatures)
+        self._right_keys = signature_keys(right_signatures)
+        self._build_buckets()
+
+    def _build_buckets(self) -> None:
+        left_groups: Dict[bytes, list] = {}
+        for vector_id, key in enumerate(self._left_keys):
+            left_groups.setdefault(key, []).append(vector_id)
+        right_groups: Dict[bytes, list] = {}
+        for vector_id, key in enumerate(self._right_keys):
+            right_groups.setdefault(key, []).append(vector_id)
+        self._left_groups = {key: np.asarray(ids, dtype=np.int64) for key, ids in left_groups.items()}
+        self._right_groups = {key: np.asarray(ids, dtype=np.int64) for key, ids in right_groups.items()}
+        matched = sorted(set(self._left_groups) & set(self._right_groups))
+        self._matched_keys = matched
+        self._matched_left = [self._left_groups[key] for key in matched]
+        self._matched_right = [self._right_groups[key] for key in matched]
+        weights = np.asarray(
+            [left.size * right.size for left, right in zip(self._matched_left, self._matched_right)],
+            dtype=np.float64,
+        )
+        self._matched_weights = weights
+        self._num_collision_pairs = int(weights.sum())
+        self._left_key_index = {key: index for index, key in enumerate(matched)}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hashes(self) -> int:
+        return self.family.num_hashes
+
+    @property
+    def total_pairs(self) -> int:
+        """``M = |U| · |V|``."""
+        return self.left.size * self.right.size
+
+    @property
+    def num_collision_pairs(self) -> int:
+        """``N_H = Σ b_j · c_j`` over matching buckets."""
+        return self._num_collision_pairs
+
+    @property
+    def num_non_collision_pairs(self) -> int:
+        return self.total_pairs - self._num_collision_pairs
+
+    def same_bucket(self, left_id: int, right_id: int) -> bool:
+        """True iff ``g(u) = g(v)`` for ``u`` from the left and ``v`` from the right."""
+        return self._left_keys[left_id] == self._right_keys[right_id]
+
+    def same_bucket_many(self, left_ids: np.ndarray, right_ids: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            [
+                self._left_keys[int(left_id)] == self._right_keys[int(right_id)]
+                for left_id, right_id in zip(left_ids, right_ids)
+            ],
+            dtype=bool,
+        )
+
+    # ------------------------------------------------------------------
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from stratum H (matching-bucket cross products)."""
+        if self._num_collision_pairs == 0:
+            raise InsufficientSampleError("no bucket key is shared by both collections")
+        rng = ensure_rng(random_state)
+        probabilities = self._matched_weights / self._matched_weights.sum()
+        chosen = rng.choice(len(self._matched_keys), size=sample_size, p=probabilities)
+        left_ids = np.empty(sample_size, dtype=np.int64)
+        right_ids = np.empty(sample_size, dtype=np.int64)
+        for position, bucket in enumerate(chosen):
+            left_members = self._matched_left[bucket]
+            right_members = self._matched_right[bucket]
+            left_ids[position] = left_members[rng.integers(0, left_members.size)]
+            right_ids[position] = right_members[rng.integers(0, right_members.size)]
+        return left_ids, right_ids
+
+    def sample_non_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None, max_attempts: int = 64
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from stratum L (cross pairs not sharing a bucket key)."""
+        if self.num_non_collision_pairs == 0:
+            raise InsufficientSampleError("every cross pair shares a bucket key")
+        rng = ensure_rng(random_state)
+        lefts = []
+        rights = []
+        remaining = sample_size
+        for _attempt in range(max_attempts):
+            batch = max(remaining, 16)
+            left_ids = rng.integers(0, self.left.size, size=batch)
+            right_ids = rng.integers(0, self.right.size, size=batch)
+            keep = ~self.same_bucket_many(left_ids, right_ids)
+            lefts.append(left_ids[keep][:remaining])
+            rights.append(right_ids[keep][:remaining])
+            remaining -= lefts[-1].size
+            if remaining <= 0:
+                return (
+                    np.concatenate(lefts).astype(np.int64),
+                    np.concatenate(rights).astype(np.int64),
+                )
+        raise InsufficientSampleError("could not sample enough stratum-L cross pairs")
+
+
+class GeneralRandomPairSampling(SimilarityJoinSizeEstimator):
+    """RS(pop) for a join between two collections: uniform cross pairs."""
+
+    name = "RS(pop)-general"
+
+    def __init__(
+        self,
+        left: VectorCollection,
+        right: VectorCollection,
+        *,
+        sample_size: Optional[int] = None,
+    ):
+        if left.dimension != right.dimension:
+            raise ValidationError("both collections must share a dimension")
+        self.left = left
+        self.right = right
+        default = max(1, int(round(1.5 * max(left.size, right.size))))
+        self.sample_size = sample_size or default
+
+    @property
+    def total_pairs(self) -> int:
+        return self.left.size * self.right.size
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        rng = ensure_rng(random_state)
+        left_ids = rng.integers(0, self.left.size, size=self.sample_size)
+        right_ids = rng.integers(0, self.right.size, size=self.sample_size)
+        similarities = cosine_pairs(self.left, left_ids, right_ids, other=self.right)
+        true_in_sample = int(np.count_nonzero(similarities >= threshold))
+        value = true_in_sample * (self.total_pairs / self.sample_size)
+        return Estimate(
+            value=value,
+            estimator=self.name,
+            threshold=threshold,
+            details={"sample_size": self.sample_size, "true_in_sample": true_in_sample},
+        )
+
+
+class GeneralLSHSSEstimator(SimilarityJoinSizeEstimator):
+    """LSH-SS for the general (non-self) VSJ problem (§B.2.2).
+
+    Parameters mirror :class:`repro.core.lsh_ss.LSHSSEstimator`; sample
+    sizes default to ``max(|U|, |V|)`` pairs per stratum.
+
+    ``details`` keys: as for LSH-SS.
+    """
+
+    name = "LSH-SS-general"
+
+    def __init__(
+        self,
+        paired_table: PairedLSHTable,
+        *,
+        sample_size_h: Optional[int] = None,
+        sample_size_l: Optional[int] = None,
+        answer_threshold: Optional[int] = None,
+        dampening: Dampening = None,
+    ):
+        self.paired_table = paired_table
+        n = max(paired_table.left.size, paired_table.right.size)
+        self.sample_size_h = sample_size_h or default_sample_size(n)
+        self.sample_size_l = sample_size_l or default_sample_size(n)
+        self.answer_threshold = answer_threshold or default_answer_threshold(n)
+        self.dampening = dampening
+        if dampening is not None:
+            self.name = "LSH-SS(D)-general"
+
+    @property
+    def total_pairs(self) -> int:
+        return self.paired_table.total_pairs
+
+    def _similarities(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return cosine_pairs(
+            self.paired_table.left, left, right, other=self.paired_table.right
+        )
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        rng = ensure_rng(random_state)
+        stratum_h = sample_stratum_h(
+            self.paired_table.num_collision_pairs,
+            lambda size, generator: self.paired_table.sample_collision_pairs(
+                size, random_state=generator
+            ),
+            self._similarities,
+            threshold,
+            self.sample_size_h,
+            rng,
+        )
+        stratum_l = sample_stratum_l(
+            self.paired_table.num_non_collision_pairs,
+            lambda size, generator: self.paired_table.sample_non_collision_pairs(
+                size, random_state=generator
+            ),
+            self._similarities,
+            threshold,
+            self.answer_threshold,
+            self.sample_size_l,
+            self.dampening,
+            rng,
+        )
+        return Estimate(
+            value=stratum_h.estimate + stratum_l.estimate,
+            estimator=self.name,
+            threshold=threshold,
+            details={
+                "stratum_h": stratum_h.estimate,
+                "stratum_l": stratum_l.estimate,
+                "true_in_sample_h": stratum_h.true_in_sample,
+                "true_in_sample_l": stratum_l.true_in_sample,
+                "samples_taken_l": stratum_l.samples_taken,
+                "reached_answer_threshold": stratum_l.reached_answer_threshold,
+                "dampening_used": stratum_l.dampening_used,
+                "num_collision_pairs": self.paired_table.num_collision_pairs,
+            },
+        )
+
+
+__all__ = ["PairedLSHTable", "GeneralRandomPairSampling", "GeneralLSHSSEstimator"]

@@ -1,0 +1,124 @@
+"""LSH-S: sample-weighted conditional probabilities in Eq. (1) (§4.3).
+
+LSH-S removes the uniformity assumption of J_U by estimating the
+conditional probabilities ``P(H|T)`` and ``P(H|F)`` from a uniform random
+sample of pairs: every sampled similarity ``s`` contributes its collision
+probability ``f(s) = s^k`` weighted by its frequency in the sample
+(Eqs. 5–6), and the weighted probabilities are plugged into Eq. (1).
+
+The paper observes (§6.2) that LSH-S degrades at high thresholds because
+the sample rarely contains any true pair, so ``P(H|T)`` cannot be
+estimated reliably.  This implementation reproduces that behaviour; when
+the sample contains no true (resp. false) pair it falls back to the
+closed-form conditional of Eq. (8) (resp. Eq. (9)), which is the
+uniformity-assumption value — the degradation the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.analysis import (
+    CollisionModel,
+    conditional_collision_probabilities,
+    estimate_from_conditionals,
+    transform_similarities,
+    transform_threshold,
+)
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.errors import ValidationError
+from repro.lsh.table import LSHTable
+from repro.rng import RandomState, ensure_rng
+from repro.sampling.pairs import UniformPairSampler
+from repro.vectors.similarity import cosine_pairs
+
+
+class LSHSEstimator(SimilarityJoinSizeEstimator):
+    """The LSH-S estimator (§4.3).
+
+    Parameters
+    ----------
+    table:
+        Extended LSH table over the collection (provides ``N_H``, ``k``).
+    sample_size:
+        Number of uniformly sampled pairs used to weight the conditional
+        probabilities; defaults to ``n`` (the paper's budget).
+    collision_model:
+        See :class:`repro.core.uniform.UniformityEstimator`.
+
+    ``details`` keys: ``sample_size``, ``true_in_sample``,
+    ``probability_h_given_t``, ``probability_h_given_f``,
+    ``used_fallback_h_given_t``, ``used_fallback_h_given_f``.
+    """
+
+    name = "LSH-S"
+
+    def __init__(
+        self,
+        table: LSHTable,
+        *,
+        sample_size: Optional[int] = None,
+        collision_model: CollisionModel = "angular",
+    ):
+        if sample_size is not None and sample_size < 1:
+            raise ValidationError(f"sample_size must be >= 1, got {sample_size}")
+        self.table = table
+        self.collection = table.collection
+        self.sample_size = sample_size or self.collection.size
+        self.collision_model = collision_model
+        self._sampler = UniformPairSampler(self.collection)
+
+    @property
+    def total_pairs(self) -> int:
+        return self.table.total_pairs
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        rng = ensure_rng(random_state)
+        left, right = self._sampler.sample(self.sample_size, random_state=rng)
+        similarities = cosine_pairs(self.collection, left, right)
+        collision_similarities = transform_similarities(similarities, self.collision_model)
+        num_hashes = self.table.num_hashes
+        bucket_probabilities = collision_similarities**num_hashes
+
+        is_true = similarities >= threshold
+        true_in_sample = int(np.count_nonzero(is_true))
+        false_in_sample = int(is_true.size - true_in_sample)
+
+        transformed_threshold = transform_threshold(threshold, self.collision_model)
+        fallback = conditional_collision_probabilities(transformed_threshold, num_hashes)
+
+        used_fallback_t = true_in_sample == 0
+        used_fallback_f = false_in_sample == 0
+        if used_fallback_t:
+            probability_h_given_t = fallback["P(H|T)"]
+        else:
+            probability_h_given_t = float(np.mean(bucket_probabilities[is_true]))
+        if used_fallback_f:
+            probability_h_given_f = fallback["P(H|F)"]
+        else:
+            probability_h_given_f = float(np.mean(bucket_probabilities[~is_true]))
+
+        value = estimate_from_conditionals(
+            self.table.num_collision_pairs,
+            self.table.total_pairs,
+            probability_h_given_t,
+            probability_h_given_f,
+        )
+        return Estimate(
+            value=value,
+            estimator=self.name,
+            threshold=threshold,
+            details={
+                "sample_size": self.sample_size,
+                "true_in_sample": true_in_sample,
+                "probability_h_given_t": probability_h_given_t,
+                "probability_h_given_f": probability_h_given_f,
+                "used_fallback_h_given_t": used_fallback_t,
+                "used_fallback_h_given_f": used_fallback_f,
+            },
+        )
+
+
+__all__ = ["LSHSEstimator"]

@@ -1,0 +1,289 @@
+"""LSH-SS: stratified sampling over the LSH-induced strata (Algorithm 1, §5).
+
+The LSH table partitions all ``M`` pairs into
+
+* **stratum H** — pairs that share a bucket (``N_H`` of them), where true
+  pairs are comparatively easy to hit (``P(T|H)`` stays a few percent even
+  at τ = 0.9), and
+* **stratum L** — the remaining ``N_L = M − N_H`` pairs, where true pairs
+  are plentiful only at low thresholds.
+
+LSH-SS estimates the two strata independently and adds the estimates
+(Eq. 7):
+
+* ``SampleH`` — plain uniform random sampling of bucket pairs, scaled up
+  by ``N_H / m_H``.
+* ``SampleL`` — Lipton adaptive sampling with answer threshold ``δ``; if
+  ``δ`` true pairs are found within the budget ``m_L`` the scaled-up
+  estimate is used, otherwise the safe lower bound ``n_L`` (or the
+  dampened scale-up ``n_L · c_s · N_L / m_L`` for LSH-SS(D)).
+
+The default parameters follow §5.1: ``m_H = m_L = n`` and ``δ = log2 n``;
+LSH-SS(D) uses ``c_s = n_L / δ`` (§6.1).
+
+The module also exposes :func:`sample_stratum_h` / :func:`sample_stratum_l`
+as reusable building blocks for the virtual-bucket and general-join
+estimators, which differ only in how pairs are drawn from each stratum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.errors import ValidationError
+from repro.lsh.table import LSHTable
+from repro.rng import RandomState, ensure_rng
+from repro.sampling.adaptive import AdaptiveSampleResult, adaptive_sample
+from repro.vectors.similarity import cosine_pairs
+
+PairSource = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
+SimilarityEvaluator = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+Dampening = Union[None, float, Literal["auto"]]
+"""``None`` → plain LSH-SS (safe lower bound).  A float in (0, 1] → fixed
+``c_s``.  ``"auto"`` → the paper's LSH-SS(D) choice ``c_s = n_L / δ``."""
+
+
+def default_sample_size(num_vectors: int) -> int:
+    """The paper's per-stratum budget: ``n`` pairs."""
+    return max(1, int(num_vectors))
+
+
+def default_answer_threshold(num_vectors: int) -> int:
+    """The paper's ``δ = log2 n`` (at least 1)."""
+    return max(1, int(round(math.log2(max(num_vectors, 2)))))
+
+
+@dataclass(frozen=True)
+class StratumHResult:
+    """Outcome of the SampleH subroutine."""
+
+    estimate: float
+    true_in_sample: int
+    sample_size: int
+    stratum_size: int
+
+
+@dataclass(frozen=True)
+class StratumLResult:
+    """Outcome of the SampleL subroutine."""
+
+    estimate: float
+    true_in_sample: int
+    samples_taken: int
+    stratum_size: int
+    reached_answer_threshold: bool
+    dampening_used: Optional[float]
+
+
+def sample_stratum_h(
+    stratum_size: int,
+    pair_source: PairSource,
+    similarity_evaluator: SimilarityEvaluator,
+    threshold: float,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> StratumHResult:
+    """SampleH: uniform random sampling within stratum H, scaled up.
+
+    ``pair_source`` must return uniform pairs *from stratum H*; for the
+    single-table estimator that is weighted-bucket sampling, for the
+    virtual-bucket estimator it is uniform sampling from the enumerated
+    virtual pairs.
+    """
+    if stratum_size <= 0:
+        return StratumHResult(estimate=0.0, true_in_sample=0, sample_size=0, stratum_size=0)
+    if sample_size < 1:
+        raise ValidationError(f"sample_size (m_H) must be >= 1, got {sample_size}")
+    left, right = pair_source(sample_size, rng)
+    similarities = similarity_evaluator(left, right)
+    true_in_sample = int(np.count_nonzero(np.asarray(similarities) >= threshold))
+    estimate = true_in_sample * (stratum_size / sample_size)
+    return StratumHResult(
+        estimate=float(estimate),
+        true_in_sample=true_in_sample,
+        sample_size=sample_size,
+        stratum_size=stratum_size,
+    )
+
+
+def sample_stratum_l(
+    stratum_size: int,
+    pair_source: PairSource,
+    similarity_evaluator: SimilarityEvaluator,
+    threshold: float,
+    answer_threshold: int,
+    max_samples: int,
+    dampening: Dampening,
+    rng: np.random.Generator,
+) -> StratumLResult:
+    """SampleL: adaptive sampling within stratum L with safe fallback.
+
+    When the adaptive run terminates by reaching ``δ`` true pairs the
+    scaled-up estimate ``n_L · N_L / i`` is returned.  Otherwise the safe
+    lower bound ``n_L`` is returned, or the dampened scale-up when a
+    dampening factor is configured (LSH-SS(D)).
+    """
+    if stratum_size <= 0:
+        return StratumLResult(
+            estimate=0.0,
+            true_in_sample=0,
+            samples_taken=0,
+            stratum_size=0,
+            reached_answer_threshold=True,
+            dampening_used=None,
+        )
+    result: AdaptiveSampleResult = adaptive_sample(
+        pair_source,
+        similarity_evaluator,
+        threshold,
+        answer_threshold=answer_threshold,
+        max_samples=max_samples,
+        random_state=rng,
+    )
+    dampening_value: Optional[float] = None
+    if not result.reached_answer_threshold and dampening is not None:
+        if dampening == "auto":
+            if result.true_count > 0:
+                dampening_value = min(result.true_count / answer_threshold, 1.0)
+        else:
+            dampening_value = float(dampening)
+            if not 0.0 < dampening_value <= 1.0:
+                raise ValidationError(
+                    f"dampening factor must lie in (0, 1], got {dampening_value}"
+                )
+    estimate = result.estimate(stratum_size, dampening=dampening_value)
+    return StratumLResult(
+        estimate=float(estimate),
+        true_in_sample=result.true_count,
+        samples_taken=result.samples_taken,
+        stratum_size=stratum_size,
+        reached_answer_threshold=result.reached_answer_threshold,
+        dampening_used=dampening_value,
+    )
+
+
+class LSHSSEstimator(SimilarityJoinSizeEstimator):
+    """LSH-SS / LSH-SS(D): the paper's main estimator (Algorithm 1).
+
+    Parameters
+    ----------
+    table:
+        The extended LSH table over the collection.
+    sample_size_h:
+        ``m_H`` — pairs sampled from stratum H; defaults to ``n``.
+    sample_size_l:
+        ``m_L`` — maximum pairs examined in stratum L; defaults to ``n``.
+    answer_threshold:
+        ``δ`` — number of true pairs at which SampleL's estimate is
+        considered reliable; defaults to ``log2 n``.
+    dampening:
+        ``None`` (plain LSH-SS), a fixed ``c_s ∈ (0, 1]``, or ``"auto"``
+        for the paper's LSH-SS(D) choice ``c_s = n_L / δ``.
+
+    ``details`` keys: ``stratum_h`` / ``stratum_l`` (their estimates),
+    ``true_in_sample_h`` / ``true_in_sample_l``, ``samples_taken_l``,
+    ``reached_answer_threshold``, ``dampening_used``,
+    ``num_collision_pairs``, ``num_non_collision_pairs``.
+    """
+
+    name = "LSH-SS"
+
+    def __init__(
+        self,
+        table: LSHTable,
+        *,
+        sample_size_h: Optional[int] = None,
+        sample_size_l: Optional[int] = None,
+        answer_threshold: Optional[int] = None,
+        dampening: Dampening = None,
+    ):
+        self.table = table
+        self.collection = table.collection
+        n = self.collection.size
+        for name, value in (
+            ("sample_size_h (m_H)", sample_size_h),
+            ("sample_size_l (m_L)", sample_size_l),
+            ("answer_threshold (δ)", answer_threshold),
+        ):
+            if value is not None and value < 1:
+                raise ValidationError(f"{name} must be >= 1, got {value}")
+        self.sample_size_h = sample_size_h if sample_size_h is not None else default_sample_size(n)
+        self.sample_size_l = sample_size_l if sample_size_l is not None else default_sample_size(n)
+        self.answer_threshold = (
+            answer_threshold if answer_threshold is not None else default_answer_threshold(n)
+        )
+        self.dampening: Dampening = dampening
+        if dampening is not None and dampening != "auto":
+            if not 0.0 < float(dampening) <= 1.0:
+                raise ValidationError(f"dampening must be in (0, 1] or 'auto', got {dampening}")
+        if dampening is not None:
+            self.name = "LSH-SS(D)"
+
+    @property
+    def total_pairs(self) -> int:
+        return self.table.total_pairs
+
+    # ------------------------------------------------------------------
+    def _similarities(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        return cosine_pairs(self.collection, left, right)
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        rng = ensure_rng(random_state)
+
+        stratum_h = sample_stratum_h(
+            self.table.num_collision_pairs,
+            lambda size, generator: self.table.sample_collision_pairs(
+                size, random_state=generator
+            ),
+            self._similarities,
+            threshold,
+            self.sample_size_h,
+            rng,
+        )
+        stratum_l = sample_stratum_l(
+            self.table.num_non_collision_pairs,
+            lambda size, generator: self.table.sample_non_collision_pairs(
+                size, random_state=generator
+            ),
+            self._similarities,
+            threshold,
+            self.answer_threshold,
+            self.sample_size_l,
+            self.dampening,
+            rng,
+        )
+        value = stratum_h.estimate + stratum_l.estimate
+        return Estimate(
+            value=value,
+            estimator=self.name,
+            threshold=threshold,
+            details={
+                "stratum_h": stratum_h.estimate,
+                "stratum_l": stratum_l.estimate,
+                "true_in_sample_h": stratum_h.true_in_sample,
+                "true_in_sample_l": stratum_l.true_in_sample,
+                "samples_taken_l": stratum_l.samples_taken,
+                "reached_answer_threshold": stratum_l.reached_answer_threshold,
+                "dampening_used": stratum_l.dampening_used,
+                "num_collision_pairs": self.table.num_collision_pairs,
+                "num_non_collision_pairs": self.table.num_non_collision_pairs,
+            },
+        )
+
+
+__all__ = [
+    "LSHSSEstimator",
+    "StratumHResult",
+    "StratumLResult",
+    "sample_stratum_h",
+    "sample_stratum_l",
+    "default_sample_size",
+    "default_answer_threshold",
+    "Dampening",
+]

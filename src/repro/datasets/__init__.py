@@ -1,0 +1,36 @@
+"""Synthetic data substrate reproducing the paper's corpus characteristics.
+
+The paper evaluates on DBLP (binary word vectors), NYT (TF-IDF news
+articles) and PUBMED (TF-IDF abstracts).  Those corpora cannot be
+redistributed, so this subpackage generates synthetic analogues with the
+properties the experiments depend on: Zipfian token usage (highly skewed
+pair-similarity distribution), matched average vector lengths, binary vs
+TF-IDF weighting, and planted near-duplicate clusters so the join is
+non-empty even at τ = 0.9.
+
+See ``DESIGN.md`` § "Fidelity notes & substitutions" for the rationale.
+"""
+
+from repro.datasets.synthetic import (
+    PlantedClusterSpec,
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+    generate_corpus,
+)
+from repro.datasets.profiles import (
+    make_dblp_like,
+    make_nyt_like,
+    make_pubmed_like,
+    profile_summary,
+)
+
+__all__ = [
+    "PlantedClusterSpec",
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+    "generate_corpus",
+    "make_dblp_like",
+    "make_nyt_like",
+    "make_pubmed_like",
+    "profile_summary",
+]

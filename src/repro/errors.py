@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single type when they want to distinguish library
+failures from programming errors in their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when an argument fails validation (bad shape, range, type)."""
+
+
+class EmptyCollectionError(ValidationError):
+    """Raised when an operation requires a non-empty vector collection."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Raised when two vectors or collections have incompatible dimensions."""
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce a meaningful estimate."""
+
+
+class InsufficientSampleError(EstimationError):
+    """Raised when a sampling procedure cannot draw the requested sample.
+
+    For example, sampling a pair from stratum H when every LSH bucket
+    contains a single vector, or cross-sampling more vectors than exist in
+    the collection without replacement.
+    """
+
+
+class IndexNotBuiltError(ReproError):
+    """Raised when an LSH-backed estimator is used before its index exists."""

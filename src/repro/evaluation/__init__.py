@@ -1,0 +1,39 @@
+"""Evaluation harness: metrics, probability tables, trial runner, reports.
+
+The paper evaluates estimators by average relative error split into
+overestimations and underestimations, the standard deviation of the
+estimates across 100 trials, and the runtime (§6.1).  This subpackage
+reproduces that methodology and renders the same tables/series the
+figures report.
+"""
+
+from repro.evaluation.metrics import (
+    TrialSummary,
+    mean_overestimation_error,
+    mean_underestimation_error,
+    signed_relative_error,
+    summarize_trials,
+)
+from repro.evaluation.probabilities import (
+    StratumProbabilities,
+    alpha_beta_table,
+    empirical_stratum_probabilities,
+)
+from repro.evaluation.runner import ExperimentRunner, SweepRecord
+from repro.evaluation.report import format_table, records_to_markdown, series_table
+
+__all__ = [
+    "signed_relative_error",
+    "mean_overestimation_error",
+    "mean_underestimation_error",
+    "summarize_trials",
+    "TrialSummary",
+    "StratumProbabilities",
+    "empirical_stratum_probabilities",
+    "alpha_beta_table",
+    "ExperimentRunner",
+    "SweepRecord",
+    "format_table",
+    "series_table",
+    "records_to_markdown",
+]

@@ -1,0 +1,159 @@
+"""Accuracy and reliability metrics matching the paper's evaluation (§6.1).
+
+The paper reports, per estimator and threshold:
+
+* the average relative error of *overestimations* (as a percentage),
+* the average relative error of *underestimations* (bounded by −100 %),
+* the standard deviation of the estimates across trials (reliability).
+
+``signed_relative_error`` follows the convention of
+:meth:`repro.core.base.Estimate.relative_error`: ``(Ĵ − J)/J``, positive
+for overestimation, negative for underestimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def signed_relative_error(estimate: float, true_size: float) -> float:
+    """Signed relative error ``(Ĵ − J) / J``.
+
+    A true size of zero returns 0.0 for a zero estimate and ``inf`` for a
+    positive estimate (the join is empty; any positive estimate is an
+    unbounded overestimate).
+    """
+    if true_size < 0:
+        raise ValidationError("true_size must be non-negative")
+    if true_size == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return (estimate - true_size) / true_size
+
+
+def _finite_errors(estimates: Sequence[float], true_size: float) -> np.ndarray:
+    errors = np.asarray(
+        [signed_relative_error(float(estimate), true_size) for estimate in estimates],
+        dtype=np.float64,
+    )
+    return errors
+
+
+def mean_overestimation_error(estimates: Sequence[float], true_size: float) -> float:
+    """Average positive relative error over the trials that overestimated.
+
+    Returns 0.0 when no trial overestimated (matching how the paper's
+    overestimation plots bottom out at zero).  Infinite errors (positive
+    estimates of an empty join) are excluded from the mean but noted by
+    the caller via :func:`summarize_trials`.
+    """
+    errors = _finite_errors(estimates, true_size)
+    positive = errors[np.isfinite(errors) & (errors > 0)]
+    if positive.size == 0:
+        return 0.0
+    return float(positive.mean())
+
+
+def mean_underestimation_error(estimates: Sequence[float], true_size: float) -> float:
+    """Average negative relative error over the trials that underestimated.
+
+    Returns 0.0 when no trial underestimated.  The value is bounded below
+    by −1 (an estimate of 0 for a non-empty join).
+    """
+    errors = _finite_errors(estimates, true_size)
+    negative = errors[np.isfinite(errors) & (errors < 0)]
+    if negative.size == 0:
+        return 0.0
+    return float(negative.mean())
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary of repeated estimates of one (estimator, threshold) cell."""
+
+    true_size: float
+    num_trials: int
+    mean_estimate: float
+    std_estimate: float
+    mean_overestimation: float  #: average of positive relative errors (0 if none)
+    mean_underestimation: float  #: average of negative relative errors (0 if none)
+    mean_absolute_relative_error: float
+    num_overestimates: int
+    num_underestimates: int
+    num_unbounded: int  #: positive estimates of an empty join
+
+    def as_dict(self) -> dict:
+        return {
+            "true_size": self.true_size,
+            "num_trials": self.num_trials,
+            "mean_estimate": self.mean_estimate,
+            "std_estimate": self.std_estimate,
+            "mean_overestimation": self.mean_overestimation,
+            "mean_underestimation": self.mean_underestimation,
+            "mean_absolute_relative_error": self.mean_absolute_relative_error,
+            "num_overestimates": self.num_overestimates,
+            "num_underestimates": self.num_underestimates,
+            "num_unbounded": self.num_unbounded,
+        }
+
+
+def summarize_trials(estimates: Sequence[float], true_size: float) -> TrialSummary:
+    """Aggregate repeated estimates into the paper's reporting quantities."""
+    values = np.asarray([float(estimate) for estimate in estimates], dtype=np.float64)
+    if values.size == 0:
+        raise ValidationError("at least one trial estimate is required")
+    errors = _finite_errors(values, true_size)
+    finite = errors[np.isfinite(errors)]
+    num_unbounded = int(np.count_nonzero(~np.isfinite(errors)))
+    mean_absolute = float(np.abs(finite).mean()) if finite.size else float("inf")
+    return TrialSummary(
+        true_size=float(true_size),
+        num_trials=int(values.size),
+        mean_estimate=float(values.mean()),
+        std_estimate=float(values.std(ddof=0)),
+        mean_overestimation=mean_overestimation_error(values, true_size),
+        mean_underestimation=mean_underestimation_error(values, true_size),
+        mean_absolute_relative_error=mean_absolute,
+        num_overestimates=int(np.count_nonzero(finite > 0) + num_unbounded),
+        num_underestimates=int(np.count_nonzero(finite < 0)),
+        num_unbounded=num_unbounded,
+    )
+
+
+def count_large_errors(
+    estimates: Sequence[float], true_size: float, *, factor: float = 10.0
+) -> dict:
+    """Count trials that are off by at least ``factor`` in either direction.
+
+    Reproduces the "number of τ values with big errors" metric of
+    Figures 6 and 8 (``Ĵ/J ≥ 10`` or ``J/Ĵ ≥ 10``).
+    """
+    if factor <= 1.0:
+        raise ValidationError("factor must exceed 1")
+    values = np.asarray([float(estimate) for estimate in estimates], dtype=np.float64)
+    overestimates = 0
+    underestimates = 0
+    for value in values:
+        if true_size == 0:
+            if value > 0:
+                overestimates += 1
+            continue
+        if value / true_size >= factor:
+            overestimates += 1
+        elif value == 0 or true_size / max(value, np.finfo(float).tiny) >= factor:
+            underestimates += 1
+    return {"overestimates": overestimates, "underestimates": underestimates}
+
+
+__all__ = [
+    "signed_relative_error",
+    "mean_overestimation_error",
+    "mean_underestimation_error",
+    "summarize_trials",
+    "count_large_errors",
+    "TrialSummary",
+]

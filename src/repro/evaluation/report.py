@@ -1,0 +1,119 @@
+"""Plain-text / markdown rendering of experiment results.
+
+The benchmarks print the same rows and series the paper's tables and
+figures report; these helpers keep the formatting in one place so every
+benchmark output looks alike and ``EXPERIMENTS.md`` can embed the tables
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.evaluation.runner import SweepRecord, records_by_estimator
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an aligned fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def records_to_markdown(records: Sequence[SweepRecord], *, title: Optional[str] = None) -> str:
+    """Render sweep records as a GitHub-flavoured markdown table."""
+    headers = [
+        "estimator",
+        "tau",
+        "true J",
+        "mean est.",
+        "overest. %",
+        "underest. %",
+        "STD",
+        "runtime (ms)",
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+    for record in records:
+        summary = record.summary
+        lines.append(
+            "| {estimator} | {tau:.1f} | {true} | {mean:.4g} | {over:.1f} | {under:.1f} | {std:.4g} | {runtime:.1f} |".format(
+                estimator=record.estimator,
+                tau=record.threshold,
+                true=record.true_size,
+                mean=summary.mean_estimate,
+                over=summary.mean_overestimation * 100.0,
+                under=summary.mean_underestimation * 100.0,
+                std=summary.std_estimate,
+                runtime=record.mean_runtime_seconds * 1000.0,
+            )
+        )
+    return "\n".join(lines)
+
+
+def series_table(records: Sequence[SweepRecord], *, title: Optional[str] = None) -> str:
+    """Render sweep records as the paper's figure series (one row per τ).
+
+    Columns mirror Figures 2/3/9: overestimation error, underestimation
+    error and standard deviation per estimator and threshold.
+    """
+    grouped = records_by_estimator(records)
+    headers = ["tau", "true J"]
+    estimator_names = list(grouped)
+    for name in estimator_names:
+        headers.extend([f"{name} over%", f"{name} under%", f"{name} STD"])
+    thresholds = sorted({record.threshold for record in records})
+    true_by_threshold: Dict[float, int] = {
+        record.threshold: record.true_size for record in records
+    }
+    rows: List[List[object]] = []
+    for threshold in thresholds:
+        row: List[object] = [f"{threshold:.1f}", true_by_threshold.get(threshold, 0)]
+        for name in estimator_names:
+            match = next(
+                (record for record in grouped[name] if record.threshold == threshold), None
+            )
+            if match is None:
+                row.extend(["-", "-", "-"])
+            else:
+                row.extend(
+                    [
+                        match.summary.mean_overestimation * 100.0,
+                        match.summary.mean_underestimation * 100.0,
+                        match.summary.std_estimate,
+                    ]
+                )
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format="{:.3g}")
+
+
+__all__ = ["format_table", "records_to_markdown", "series_table"]

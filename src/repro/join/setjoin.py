@@ -1,0 +1,85 @@
+"""Exact Jaccard set-similarity join (the SSJ substrate).
+
+The SSJ problem (Definition 2) is the set-space special case of the VSJ
+problem.  The Lattice-Counting baseline and the Min-Hashing tests need an
+exact Jaccard join oracle; this module provides a prefix-filtered
+inverted-index join over token sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.vectors.similarity import jaccard_similarity
+
+
+def _prefix_length(set_size: int, threshold: float) -> int:
+    """Prefix-filter length: a pair with Jaccard ≥ τ must share a token within
+    the first ``⌊(1 − τ)·|s|⌋ + 1`` tokens of a canonically ordered set."""
+    return int(set_size - max(0, int(set_size * threshold)) + 1)
+
+
+def jaccard_set_join(
+    sets: Sequence[Iterable[int]],
+    threshold: float,
+) -> List[Tuple[int, int, float]]:
+    """Return all pairs of sets with Jaccard similarity ``≥ threshold``.
+
+    Parameters
+    ----------
+    sets:
+        Token-id sets (any iterable of hashable tokens per record).
+    threshold:
+        Jaccard threshold ``τ`` in ``(0, 1]``.
+
+    Returns
+    -------
+    list of ``(i, j, similarity)`` with ``i < j``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValidationError(f"threshold must be in (0, 1], got {threshold}")
+    canonical: List[List[int]] = []
+    for record in sets:
+        tokens = sorted(set(record))
+        canonical.append(tokens)
+
+    inverted: Dict[int, List[int]] = {}
+    results: List[Tuple[int, int, float]] = []
+    for record_id, tokens in enumerate(canonical):
+        candidates: Set[int] = set()
+        prefix = tokens[: _prefix_length(len(tokens), threshold)] if tokens else []
+        for token in prefix:
+            candidates.update(inverted.get(token, []))
+        for candidate_id in candidates:
+            similarity = jaccard_similarity(canonical[candidate_id], tokens)
+            if similarity >= threshold:
+                results.append((candidate_id, record_id, similarity))
+        for token in prefix:
+            inverted.setdefault(token, []).append(record_id)
+    results.sort(key=lambda item: (item[0], item[1]))
+    return results
+
+
+def jaccard_set_join_size(sets: Sequence[Iterable[int]], threshold: float) -> int:
+    """Number of pairs returned by :func:`jaccard_set_join`."""
+    return len(jaccard_set_join(sets, threshold))
+
+
+def brute_force_jaccard_join(
+    sets: Sequence[Iterable[int]], threshold: float
+) -> List[Tuple[int, int, float]]:
+    """Quadratic reference implementation used to validate the filtered join."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValidationError(f"threshold must be in (0, 1], got {threshold}")
+    materialised = [set(record) for record in sets]
+    results: List[Tuple[int, int, float]] = []
+    for i in range(len(materialised)):
+        for j in range(i + 1, len(materialised)):
+            similarity = jaccard_similarity(materialised[i], materialised[j])
+            if similarity >= threshold:
+                results.append((i, j, similarity))
+    return results
+
+
+__all__ = ["jaccard_set_join", "jaccard_set_join_size", "brute_force_jaccard_join"]

@@ -1,0 +1,37 @@
+"""Locality-Sensitive-Hashing substrate.
+
+The paper's estimators sit on top of a conventional LSH index that is
+extended with a per-bucket count (§4.1.1).  This subpackage provides:
+
+* :mod:`~repro.lsh.families` — hash-function families: sign random
+  projection (Charikar, for cosine similarity), MinHash (Broder, for
+  Jaccard similarity) and a p-stable family for L2 distance.
+* :mod:`~repro.lsh.signatures` — signature-matrix computation and the
+  prefix-collision counts used by the Lattice-Counting adaptation.
+* :mod:`~repro.lsh.table` — a single LSH table ``D_g`` for
+  ``g = (h_1, …, h_k)`` with bucket counts, pair counting ``N_H`` and
+  weighted bucket-pair sampling (the SampleH primitive).
+* :mod:`~repro.lsh.index` — an index of ``ℓ`` tables plus the
+  virtual-bucket view used by the multi-table extensions (§B.2.1).
+"""
+
+from repro.lsh.families import (
+    LSHFamily,
+    MinHashFamily,
+    PStableL2Family,
+    SignRandomProjectionFamily,
+)
+from repro.lsh.signatures import prefix_collision_counts, signature_matrix
+from repro.lsh.table import LSHTable
+from repro.lsh.index import LSHIndex
+
+__all__ = [
+    "LSHFamily",
+    "SignRandomProjectionFamily",
+    "MinHashFamily",
+    "PStableL2Family",
+    "signature_matrix",
+    "prefix_collision_counts",
+    "LSHTable",
+    "LSHIndex",
+]

@@ -1,0 +1,247 @@
+"""LSH hash-function families.
+
+Definition 3 of the paper idealises an LSH family as one where
+``P(h(u) = h(v)) = sim(u, v)``.  Concrete families satisfy this for
+*their* similarity measure:
+
+* :class:`MinHashFamily` — exactly ``P = Jaccard(A, B)`` (Broder).
+* :class:`SignRandomProjectionFamily` — ``P = 1 − θ(u, v)/π`` (Charikar),
+  i.e. the property holds for the *angular* similarity, a monotone
+  transform of cosine similarity.  The analytical estimators account for
+  this via :func:`repro.vectors.similarity.cosine_to_angular_collision`.
+* :class:`PStableL2Family` — the Datar et al. p-stable family for L2
+  distance, provided as an extension point (the paper notes LSH families
+  exist for several measures).
+
+Each family knows how to hash an entire :class:`VectorCollection` into an
+``(n, k)`` integer signature matrix, and exposes the collision-probability
+curve ``P(h(u)=h(v))`` as a function of the underlying similarity, which
+the analysis module uses for the f(s) = s^k reasoning of Figure 1.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ValidationError
+from repro.rng import RandomState, ensure_rng
+from repro.vectors.collection import VectorCollection
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class LSHFamily(abc.ABC):
+    """Abstract base class for LSH hash-function families.
+
+    A family instance represents ``k`` concrete hash functions
+    ``g = (h_1, …, h_k)`` drawn from the family, i.e. exactly the ``g``
+    used to build one LSH table.
+
+    Parameters
+    ----------
+    num_hashes:
+        The number of hash functions ``k`` concatenated into ``g``.
+    random_state:
+        Seed or generator controlling the random draws of the functions.
+    """
+
+    #: Name of the similarity measure the family is locality sensitive for.
+    similarity: str = "abstract"
+
+    def __init__(self, num_hashes: int, *, random_state: RandomState = None):
+        if num_hashes < 1:
+            raise ValidationError(f"num_hashes (k) must be >= 1, got {num_hashes}")
+        self.num_hashes = int(num_hashes)
+        self._rng = ensure_rng(random_state)
+        self._initialised_dimension: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _initialise(self, dimension: int) -> None:
+        """Draw the random parameters of the ``k`` hash functions."""
+
+    @abc.abstractmethod
+    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        """Return the ``(n, k)`` integer signature matrix for ``collection``."""
+
+    @abc.abstractmethod
+    def collision_probability(self, similarity: np.ndarray) -> np.ndarray:
+        """Per-hash collision probability as a function of the native similarity."""
+
+    # ------------------------------------------------------------------
+    def hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        """Hash every vector of ``collection``; returns an ``(n, k)`` int array.
+
+        The family lazily initialises its random parameters for the
+        collection's dimensionality on first use and then requires every
+        subsequent collection to share that dimensionality, so the same
+        ``g`` can hash both sides of a general (non-self) join.
+        """
+        if self._initialised_dimension is None:
+            self._initialise(collection.dimension)
+            self._initialised_dimension = collection.dimension
+        elif self._initialised_dimension != collection.dimension:
+            raise ValidationError(
+                "this family was initialised for dimension "
+                f"{self._initialised_dimension}, got a collection of dimension "
+                f"{collection.dimension}"
+            )
+        signatures = self._hash_collection(collection)
+        if signatures.shape != (collection.size, self.num_hashes):
+            raise ValidationError(
+                "family produced a signature matrix of shape "
+                f"{signatures.shape}, expected {(collection.size, self.num_hashes)}"
+            )
+        return signatures
+
+    def bucket_collision_probability(self, similarity: np.ndarray) -> np.ndarray:
+        """Probability that ``g(u) = g(v)``, i.e. all ``k`` hashes collide."""
+        return self.collision_probability(similarity) ** self.num_hashes
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(k={self.num_hashes}, similarity={self.similarity!r})"
+
+
+class SignRandomProjectionFamily(LSHFamily):
+    """Charikar's hyperplane (SimHash) family for cosine similarity.
+
+    Each hash function ``h_r(u) = sign(r · u)`` with ``r`` a random
+    Gaussian vector.  Collision probability is ``1 − θ(u, v)/π`` where
+    ``θ`` is the angle between the vectors.
+    """
+
+    similarity = "cosine"
+
+    def __init__(self, num_hashes: int, *, random_state: RandomState = None):
+        super().__init__(num_hashes, random_state=random_state)
+        self._projections: Optional[np.ndarray] = None
+
+    def _initialise(self, dimension: int) -> None:
+        self._projections = self._rng.standard_normal((dimension, self.num_hashes))
+
+    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        assert self._projections is not None
+        projected = collection.matrix @ self._projections
+        projected = np.asarray(projected)
+        return (projected > 0.0).astype(np.int64)
+
+    def collision_probability(self, similarity: np.ndarray) -> np.ndarray:
+        clipped = np.clip(similarity, -1.0, 1.0)
+        return 1.0 - np.arccos(clipped) / np.pi
+
+
+class MinHashFamily(LSHFamily):
+    """Broder's MinHash family for Jaccard similarity over vector supports.
+
+    Vectors are interpreted as the set of their non-zero dimensions; each
+    hash function applies a random linear permutation-hash
+    ``π_i(x) = (a_i · x + b_i) mod p`` and keeps the minimum over the set.
+    ``P(h(A) = h(B)) = Jaccard(A, B)`` exactly.
+    """
+
+    similarity = "jaccard"
+
+    def __init__(self, num_hashes: int, *, random_state: RandomState = None):
+        super().__init__(num_hashes, random_state=random_state)
+        self._coefficients_a: Optional[np.ndarray] = None
+        self._coefficients_b: Optional[np.ndarray] = None
+
+    def _initialise(self, dimension: int) -> None:
+        self._coefficients_a = self._rng.integers(
+            1, _MERSENNE_PRIME, size=self.num_hashes, dtype=np.int64
+        )
+        self._coefficients_b = self._rng.integers(
+            0, _MERSENNE_PRIME, size=self.num_hashes, dtype=np.int64
+        )
+
+    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        assert self._coefficients_a is not None and self._coefficients_b is not None
+        signatures = np.full(
+            (collection.size, self.num_hashes), _MERSENNE_PRIME, dtype=np.int64
+        )
+        coefficients_a = self._coefficients_a.astype(object)
+        coefficients_b = self._coefficients_b.astype(object)
+        for row in range(collection.size):
+            support = collection.row_support(row)
+            if support.size == 0:
+                continue
+            # object dtype avoids int64 overflow of a * x before the modulus.
+            hashed = (support.astype(object)[:, None] * coefficients_a[None, :]
+                      + coefficients_b[None, :]) % _MERSENNE_PRIME
+            signatures[row] = np.min(hashed.astype(np.int64), axis=0)
+        return signatures
+
+    def collision_probability(self, similarity: np.ndarray) -> np.ndarray:
+        return np.clip(similarity, 0.0, 1.0)
+
+
+class PStableL2Family(LSHFamily):
+    """Datar et al. p-stable family for Euclidean (L2) distance.
+
+    ``h(v) = floor((a · v + b) / w)`` with Gaussian ``a`` and uniform
+    ``b ∈ [0, w)``.  Included as the extension point the paper mentions
+    ("LSH families have been developed for several (dis)similarity
+    measures including … ℓ_p distance"); the collision probability is a
+    function of the L2 *distance* rather than a similarity in [0, 1].
+    """
+
+    similarity = "euclidean"
+
+    def __init__(
+        self,
+        num_hashes: int,
+        *,
+        bucket_width: float = 4.0,
+        random_state: RandomState = None,
+    ):
+        super().__init__(num_hashes, random_state=random_state)
+        if bucket_width <= 0:
+            raise ValidationError(f"bucket_width must be positive, got {bucket_width}")
+        self.bucket_width = float(bucket_width)
+        self._projections: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    def _initialise(self, dimension: int) -> None:
+        self._projections = self._rng.standard_normal((dimension, self.num_hashes))
+        self._offsets = self._rng.uniform(0.0, self.bucket_width, size=self.num_hashes)
+
+    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        assert self._projections is not None and self._offsets is not None
+        projected = np.asarray(collection.matrix @ self._projections)
+        return np.floor((projected + self._offsets[None, :]) / self.bucket_width).astype(np.int64)
+
+    def collision_probability(self, distance: np.ndarray) -> np.ndarray:
+        """Collision probability as a function of L2 *distance* ``c``.
+
+        ``p(c) = 1 − 2·Φ(−w/c) − (2c / (√(2π) w)) (1 − exp(−w² / 2c²))``.
+        ``p(0)`` is defined as 1.
+        """
+        distance_array = np.asarray(distance, dtype=np.float64)
+        width = self.bucket_width
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = width / distance_array
+            term_normal = 1.0 - 2.0 * stats.norm.cdf(-ratio)
+            term_density = (
+                2.0
+                * distance_array
+                / (np.sqrt(2.0 * np.pi) * width)
+                * (1.0 - np.exp(-(ratio**2) / 2.0))
+            )
+            probability = term_normal - term_density
+        probability = np.where(distance_array <= 0.0, 1.0, probability)
+        result = np.clip(probability, 0.0, 1.0)
+        if np.isscalar(distance):
+            return float(result)
+        return result
+
+
+__all__ = [
+    "LSHFamily",
+    "SignRandomProjectionFamily",
+    "MinHashFamily",
+    "PStableL2Family",
+]

@@ -1,0 +1,70 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (LSH families, samplers,
+estimators, synthetic data generators) accepts either
+
+* ``None`` — use a fresh, OS-seeded generator,
+* an ``int`` seed — deterministic and reproducible,
+* an existing :class:`numpy.random.Generator` — shared stream.
+
+:func:`ensure_rng` normalises those three spellings to a single
+``numpy.random.Generator`` instance.  :func:`spawn` derives independent
+child generators from a parent so that, e.g., the ``ℓ`` tables of an LSH
+index use statistically independent hash functions while the whole index
+remains reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+"""Type alias accepted by every ``random_state`` / ``seed`` parameter."""
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for a non-deterministic generator, an integer seed, or an
+        existing generator (returned unchanged).
+
+    Raises
+    ------
+    TypeError
+        If ``random_state`` is none of the accepted types.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int seed, or a numpy Generator; "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn(rng: np.random.Generator, count: int) -> Sequence[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    The children are seeded from the parent stream, so the overall
+    computation stays reproducible while the children do not share state.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed from ``rng`` suitable for child components."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+__all__ = ["RandomState", "ensure_rng", "spawn", "derive_seed"]

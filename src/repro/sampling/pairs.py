@@ -1,0 +1,139 @@
+"""Uniform pair sampling and cross sampling over vector collections.
+
+Both samplers return ``(left, right)`` index arrays; similarity
+evaluation is left to the caller (usually via
+:func:`repro.vectors.similarity.cosine_pairs`) so that the same sampler
+can serve cosine, Jaccard, or any other measure.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.rng import RandomState, ensure_rng
+from repro.vectors.collection import VectorCollection
+
+
+class UniformPairSampler:
+    """Sample pairs uniformly at random, with replacement — RS(pop).
+
+    For a self-join over a collection of size ``n`` the population is all
+    ``M = C(n, 2)`` unordered distinct pairs.  For a general join between
+    two collections the population is the cross product.
+    """
+
+    def __init__(
+        self,
+        collection: VectorCollection,
+        *,
+        other: Optional[VectorCollection] = None,
+    ):
+        self.collection = collection
+        self.other = other
+
+    @property
+    def population_size(self) -> int:
+        """Number of candidate pairs ``M``."""
+        if self.other is None:
+            return self.collection.total_pairs
+        return self.collection.size * self.other.size
+
+    def sample(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``sample_size`` pairs; returns ``(left, right)`` index arrays."""
+        if sample_size < 0:
+            raise ValidationError(f"sample_size must be >= 0, got {sample_size}")
+        rng = ensure_rng(random_state)
+        if sample_size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if self.other is None:
+            n = self.collection.size
+            if n < 2:
+                raise InsufficientSampleError("need at least 2 vectors for a self-join pair")
+            left = rng.integers(0, n, size=sample_size)
+            right = rng.integers(0, n - 1, size=sample_size)
+            right = right + (right >= left)
+        else:
+            left = rng.integers(0, self.collection.size, size=sample_size)
+            right = rng.integers(0, self.other.size, size=sample_size)
+        return left.astype(np.int64), right.astype(np.int64)
+
+
+class CrossPairSampler:
+    """Cross sampling — RS(cross), after Haas et al. [10].
+
+    Instead of sampling pairs directly, cross sampling draws ``r`` vectors
+    and evaluates *all* ``C(r, 2)`` pairs among them (or ``r_u × r_v``
+    pairs for a general join).  Given a pair budget ``m``, the paper uses
+    ``r = ⌈√m⌉``.
+    """
+
+    def __init__(
+        self,
+        collection: VectorCollection,
+        *,
+        other: Optional[VectorCollection] = None,
+    ):
+        self.collection = collection
+        self.other = other
+
+    @property
+    def population_size(self) -> int:
+        """Number of candidate pairs ``M`` in the full join."""
+        if self.other is None:
+            return self.collection.total_pairs
+        return self.collection.size * self.other.size
+
+    def sample_vectors(
+        self, num_vectors: int, population: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``num_vectors`` distinct vector ids from ``population``."""
+        if num_vectors > population:
+            num_vectors = population
+        if num_vectors < 1:
+            raise InsufficientSampleError("cross sampling needs at least one vector")
+        return rng.choice(population, size=num_vectors, replace=False).astype(np.int64)
+
+    def sample(
+        self, pair_budget: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Sample pairs with a total budget of roughly ``pair_budget`` pairs.
+
+        Returns
+        -------
+        (left, right, pairs_considered):
+            Index arrays for every pair formed from the vector sample and
+            the number of pairs actually formed (the scaling denominator).
+        """
+        if pair_budget < 1:
+            raise ValidationError(f"pair_budget must be >= 1, got {pair_budget}")
+        rng = ensure_rng(random_state)
+        num_vectors = int(np.ceil(np.sqrt(pair_budget)))
+        if self.other is None:
+            sampled = self.sample_vectors(max(num_vectors, 2), self.collection.size, rng)
+            pairs = np.array(list(combinations(sampled.tolist(), 2)), dtype=np.int64)
+            if pairs.size == 0:
+                raise InsufficientSampleError("cross sample produced no pairs")
+            left, right = pairs[:, 0], pairs[:, 1]
+            return left, right, left.size
+        left_vectors = self.sample_vectors(num_vectors, self.collection.size, rng)
+        right_vectors = self.sample_vectors(num_vectors, self.other.size, rng)
+        left = np.repeat(left_vectors, right_vectors.size)
+        right = np.tile(right_vectors, left_vectors.size)
+        return left.astype(np.int64), right.astype(np.int64), left.size
+
+
+def scale_up(true_in_sample: int, sample_size: int, population_size: int) -> float:
+    """Horvitz–Thompson style scale-up ``count · population / sample``."""
+    if sample_size <= 0:
+        raise ValidationError("sample_size must be positive to scale up an estimate")
+    return float(true_in_sample) * float(population_size) / float(sample_size)
+
+
+__all__ = ["UniformPairSampler", "CrossPairSampler", "scale_up"]

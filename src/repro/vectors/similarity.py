@@ -1,0 +1,213 @@
+"""Similarity measures used by the VSJ / SSJ problems.
+
+The paper evaluates cosine similarity; Jaccard similarity appears through
+the Lattice-Counting adaptation (Min-Hashing) and the set-similarity-join
+substrate.  All functions accept either dense 1-D arrays, sparse rows, or
+``(collection, index)`` pairs via the vectorised helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import DimensionMismatchError, ValidationError
+from repro.vectors.collection import VectorCollection
+
+VectorLike = Union[np.ndarray, Sequence[float], sparse.spmatrix]
+
+
+def _as_dense(vector: VectorLike) -> np.ndarray:
+    if sparse.issparse(vector):
+        dense = np.asarray(vector.todense()).ravel()
+    else:
+        dense = np.asarray(vector, dtype=np.float64).ravel()
+    return dense
+
+
+def cosine_similarity(u: VectorLike, v: VectorLike) -> float:
+    """Cosine similarity ``u·v / (‖u‖‖v‖)`` between two vectors.
+
+    Returns 0.0 when either vector has zero norm (the convention used by
+    the exact join so that empty documents never join with anything).
+    """
+    u_dense = _as_dense(u)
+    v_dense = _as_dense(v)
+    if u_dense.shape != v_dense.shape:
+        raise DimensionMismatchError(
+            f"cosine_similarity requires equal-length vectors, got {u_dense.shape} and {v_dense.shape}"
+        )
+    norm_u = float(np.linalg.norm(u_dense))
+    norm_v = float(np.linalg.norm(v_dense))
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 0.0
+    value = float(np.dot(u_dense, v_dense) / (norm_u * norm_v))
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def dot_pairs(
+    collection: VectorCollection,
+    left_indices: Sequence[int],
+    right_indices: Sequence[int],
+    *,
+    other: Optional[VectorCollection] = None,
+) -> np.ndarray:
+    """Dot products ``<collection[left_i], other[right_i]>`` for index pairs.
+
+    ``other`` defaults to ``collection`` (self-join case).  This is the
+    vectorised primitive the samplers use: it touches only the sampled
+    rows, never the full ``n × n`` product.
+    """
+    other = collection if other is None else other
+    left = np.asarray(left_indices, dtype=np.int64)
+    right = np.asarray(right_indices, dtype=np.int64)
+    if left.shape != right.shape:
+        raise ValidationError("left and right index arrays must have the same length")
+    if left.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    rows_left = collection.matrix[left]
+    rows_right = other.matrix[right]
+    products = rows_left.multiply(rows_right).sum(axis=1)
+    return np.asarray(products).ravel()
+
+
+def cosine_pairs(
+    collection: VectorCollection,
+    left_indices: Sequence[int],
+    right_indices: Sequence[int],
+    *,
+    other: Optional[VectorCollection] = None,
+) -> np.ndarray:
+    """Cosine similarities for many ``(left, right)`` index pairs at once.
+
+    The workhorse of every sampling-based estimator: given ``m`` sampled
+    pairs it returns an ``(m,)`` array of similarities in one sparse
+    operation.
+    """
+    other = collection if other is None else other
+    left = np.asarray(left_indices, dtype=np.int64)
+    right = np.asarray(right_indices, dtype=np.int64)
+    if left.shape != right.shape:
+        raise ValidationError("left and right index arrays must have the same length")
+    if left.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    rows_left = collection.normalized_matrix[left]
+    rows_right = other.normalized_matrix[right]
+    products = rows_left.multiply(rows_right).sum(axis=1)
+    return np.clip(np.asarray(products).ravel(), -1.0, 1.0)
+
+
+def cosine_similarity_matrix(
+    collection: VectorCollection,
+    other: Optional[VectorCollection] = None,
+    *,
+    dense: bool = True,
+) -> Union[np.ndarray, sparse.csr_matrix]:
+    """Full cosine similarity matrix between two (small) collections.
+
+    This is intended for tests and small examples; the exact-join module
+    (:mod:`repro.join.exact`) provides the block-wise variant that scales
+    to the benchmark collections without materialising ``n × n`` floats.
+    """
+    other = collection if other is None else other
+    if other.dimension != collection.dimension:
+        raise DimensionMismatchError(
+            "collections must share a dimension to compute a similarity matrix"
+        )
+    product = collection.normalized_matrix @ other.normalized_matrix.T
+    if dense:
+        return np.clip(np.asarray(product.todense()), -1.0, 1.0)
+    return product.tocsr()
+
+
+def jaccard_similarity(a: Union[Set[int], Iterable[int]], b: Union[Set[int], Iterable[int]]) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` between two sets.
+
+    Empty-vs-empty is defined as 0.0 (no join contribution), matching the
+    convention of the SSJ literature.
+    """
+    set_a = set(a)
+    set_b = set(b)
+    if not set_a and not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    union = len(set_a | set_b)
+    return intersection / union
+
+
+def jaccard_pairs(
+    collection: VectorCollection,
+    left_indices: Sequence[int],
+    right_indices: Sequence[int],
+    *,
+    other: Optional[VectorCollection] = None,
+) -> np.ndarray:
+    """Jaccard similarity of the *supports* of vector pairs.
+
+    Vectors are treated as sets of their non-zero dimensions, which is the
+    standard embedding used when applying set-similarity techniques to a
+    binary vector collection.
+    """
+    other = collection if other is None else other
+    left = np.asarray(left_indices, dtype=np.int64)
+    right = np.asarray(right_indices, dtype=np.int64)
+    if left.shape != right.shape:
+        raise ValidationError("left and right index arrays must have the same length")
+    result = np.zeros(left.size, dtype=np.float64)
+    for position, (i, j) in enumerate(zip(left, right)):
+        support_i = collection.row_support(int(i))
+        support_j = other.row_support(int(j))
+        result[position] = jaccard_similarity(support_i.tolist(), support_j.tolist())
+    return result
+
+
+def overlap_similarity(a: Union[Set[int], Iterable[int]], b: Union[Set[int], Iterable[int]]) -> float:
+    """Overlap (intersection) size normalised by the smaller set.
+
+    Used by the All-Pairs prefix-filter join when converting a cosine
+    threshold into an overlap bound.
+    """
+    set_a = set(a)
+    set_b = set(b)
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def cosine_to_angular_collision(similarity: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Map cosine similarity to the sign-random-projection collision probability.
+
+    Charikar's hyperplane LSH has ``P[h(u) = h(v)] = 1 − θ(u, v) / π`` with
+    ``θ = arccos(cos(u, v))``.  The analytical estimators (J_U, LSH-S) use
+    this transform so that the idealised LSH property of Definition 3
+    (``P = sim``) holds for the *transformed* similarity.
+    """
+    clipped = np.clip(similarity, -1.0, 1.0)
+    collision = 1.0 - np.arccos(clipped) / np.pi
+    if np.isscalar(similarity):
+        return float(collision)
+    return collision
+
+
+def angular_collision_to_cosine(collision: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Inverse of :func:`cosine_to_angular_collision`."""
+    clipped = np.clip(collision, 0.0, 1.0)
+    cosine = np.cos((1.0 - clipped) * np.pi)
+    if np.isscalar(collision):
+        return float(cosine)
+    return cosine
+
+
+__all__ = [
+    "cosine_similarity",
+    "cosine_pairs",
+    "dot_pairs",
+    "cosine_similarity_matrix",
+    "jaccard_similarity",
+    "jaccard_pairs",
+    "overlap_similarity",
+    "cosine_to_angular_collision",
+    "angular_collision_to_cosine",
+]

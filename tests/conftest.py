@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of vectors) so the whole suite
+runs in a couple of minutes; the benchmark suite owns the larger,
+paper-scale collections.  Expensive fixtures are session-scoped and
+deterministic (fixed seeds) so tests can assert on stable quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dblp_like, make_nyt_like
+from repro.join.histogram import SimilarityHistogram
+from repro.lsh import LSHIndex, LSHTable, SignRandomProjectionFamily
+from repro.vectors import VectorCollection
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator for individual tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_collection() -> VectorCollection:
+    """Six hand-written 4-dimensional vectors with known similarities."""
+    return VectorCollection.from_dense(
+        [
+            [1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],  # exact duplicate of row 0
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+@pytest.fixture
+def binary_collection() -> VectorCollection:
+    """A small binary collection built from token sets."""
+    token_sets = [
+        {0, 1, 2, 3},
+        {0, 1, 2, 3},        # duplicate of record 0
+        {0, 1, 2, 4},        # one-token difference
+        {5, 6, 7},
+        {5, 6, 7, 8, 9},
+        {10, 11},
+    ]
+    return VectorCollection.from_token_sets(token_sets, dimension=12)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A DBLP-like synthetic corpus of 400 vectors (session-scoped)."""
+    return make_dblp_like(num_vectors=400, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def small_collection(small_corpus) -> VectorCollection:
+    return small_corpus.collection
+
+
+@pytest.fixture(scope="session")
+def small_tfidf_corpus():
+    """An NYT-like synthetic TF-IDF corpus of 300 vectors (session-scoped)."""
+    return make_nyt_like(num_vectors=300, random_state=5)
+
+
+@pytest.fixture(scope="session")
+def small_histogram(small_collection) -> SimilarityHistogram:
+    """Exact similarity histogram of the small DBLP-like collection."""
+    return SimilarityHistogram(small_collection, num_bins=1000)
+
+
+@pytest.fixture(scope="session")
+def small_table(small_collection) -> LSHTable:
+    """A k=12 cosine LSH table over the small collection."""
+    family = SignRandomProjectionFamily(12, random_state=17)
+    return LSHTable(family, small_collection)
+
+
+@pytest.fixture(scope="session")
+def small_index(small_collection) -> LSHIndex:
+    """A 3-table, k=12 LSH index over the small collection."""
+    return LSHIndex(small_collection, num_hashes=12, num_tables=3, random_state=19)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "--threshold", "0.8"])
+        assert args.command == "estimate"
+        assert args.profile == "dblp"
+        assert args.estimators == ["lsh-ss", "rs"]
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.trials == 5
+        assert 0.9 in args.thresholds
+
+    def test_probabilities_profile_choice(self):
+        args = build_parser().parse_args(["probabilities", "--profile", "nyt"])
+        assert args.profile == "nyt"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--threshold", "0.5", "--profile", "wiki"])
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["estimate", "--threshold", "0.5", "--estimators", "magic"]
+            )
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    COMMON = ["--num-vectors", "300", "--num-hashes", "8", "--seed", "1"]
+
+    def test_estimate_command_output(self, capsys):
+        exit_code = main(
+            ["estimate", "--threshold", "0.8", "--estimators", "lsh-ss", "ju", *self.COMMON]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "LSH-SS" in captured.out
+        assert "exact join" in captured.out
+
+    def test_estimate_no_exact(self, capsys):
+        exit_code = main(
+            ["estimate", "--threshold", "0.8", "--no-exact", "--estimators", "rs", *self.COMMON]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "exact join" not in captured.out
+
+    def test_estimate_invalid_threshold_returns_error_code(self, capsys):
+        exit_code = main(["estimate", "--threshold", "1.5", *self.COMMON])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_sweep_command_output(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--thresholds", "0.5", "0.9",
+                "--trials", "2",
+                "--estimators", "lsh-ss", "rs",
+                *self.COMMON,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "LSH-SS over%" in captured.out
+        assert "0.9" in captured.out
+
+    def test_probabilities_command_output(self, capsys):
+        exit_code = main(["probabilities", "--thresholds", "0.5", "0.9", *self.COMMON])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "P(T|H)" in captured.out
+
+    def test_all_estimator_names_buildable(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "--threshold", "0.9",
+                "--no-exact",
+                "--estimators", "lsh-ss", "lsh-ss-d", "lsh-s", "ju", "lc", "rs", "rs-cross",
+                *self.COMMON,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for label in ("LSH-SS", "LSH-SS(D)", "LSH-S", "J_U", "LC", "RS(pop)", "RS(cross)"):
+            assert label in captured.out

@@ -1,0 +1,167 @@
+"""Tests for the closed-form LSH collision analysis (Appendix A.1, §B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    collision_joint_probabilities,
+    conditional_collision_probabilities,
+    empirical_precision,
+    estimate_from_conditionals,
+    optimal_num_hashes,
+    transform_similarities,
+    transform_threshold,
+    uniformity_estimate,
+)
+from repro.errors import ValidationError
+
+
+class TestTransform:
+    def test_ideal_model_is_identity(self):
+        assert transform_threshold(0.37, "ideal") == pytest.approx(0.37)
+
+    def test_angular_model_matches_charikar(self):
+        assert transform_threshold(1.0, "angular") == pytest.approx(1.0)
+        assert transform_threshold(0.5, "angular") == pytest.approx(1.0 - np.arccos(0.5) / np.pi)
+
+    def test_invalid_model(self):
+        with pytest.raises(ValidationError):
+            transform_threshold(0.5, "weird")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            transform_threshold(0.0)
+
+    def test_transform_similarities_vectorised(self):
+        values = np.array([0.1, 0.5, 0.9])
+        ideal = transform_similarities(values, "ideal")
+        angular = transform_similarities(values, "angular")
+        np.testing.assert_allclose(ideal, values)
+        # the angular transform is monotone and stays within [0, 1]
+        assert np.all(np.diff(angular) > 0)
+        assert np.all((angular >= 0.0) & (angular <= 1.0))
+        assert angular[0] > ideal[0]  # low cosines are lifted toward 0.5
+
+
+class TestJointProbabilities:
+    def test_areas_sum_to_one(self):
+        for tau in (0.1, 0.5, 0.9):
+            for k in (1, 5, 20):
+                joint = collision_joint_probabilities(tau, k)
+                total = (
+                    joint.same_bucket_false
+                    + joint.same_bucket_true
+                    + joint.different_bucket_false
+                    + joint.different_bucket_true
+                )
+                assert total == pytest.approx(1.0)
+
+    def test_closed_forms_match_numeric_integrals(self):
+        tau, k = 0.6, 7
+        joint = collision_joint_probabilities(tau, k)
+        grid = np.linspace(0, 1, 200001)
+        f = grid**k
+        below = grid <= tau
+        assert joint.same_bucket_false == pytest.approx(np.trapezoid(f[below], grid[below]), abs=1e-4)
+        assert joint.same_bucket_true == pytest.approx(
+            np.trapezoid(f[~below], grid[~below]), abs=1e-4
+        )
+
+    def test_true_collision_area_shrinks_with_k(self):
+        small_k = collision_joint_probabilities(0.7, 2).same_bucket_true
+        large_k = collision_joint_probabilities(0.7, 30).same_bucket_true
+        assert large_k < small_k
+
+    def test_as_dict_keys(self):
+        joint = collision_joint_probabilities(0.5, 3)
+        assert set(joint.as_dict()) == {"P(H∩F)", "P(H∩T)", "P(L∩F)", "P(L∩T)"}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            collision_joint_probabilities(0.0, 5)
+        with pytest.raises(ValidationError):
+            collision_joint_probabilities(0.5, 0)
+
+
+class TestConditionalProbabilities:
+    def test_equation_8_and_9(self):
+        tau, k = 0.4, 6
+        conditional = conditional_collision_probabilities(tau, k)
+        expected_h_given_t = sum(tau**i for i in range(k + 1)) / (k + 1)
+        expected_h_given_f = tau**k / (k + 1)
+        assert conditional["P(H|T)"] == pytest.approx(expected_h_given_t)
+        assert conditional["P(H|F)"] == pytest.approx(expected_h_given_f)
+
+    def test_h_given_t_exceeds_h_given_f(self):
+        for tau in (0.1, 0.5, 0.9):
+            conditional = conditional_collision_probabilities(tau, 10)
+            assert conditional["P(H|T)"] > conditional["P(H|F)"]
+
+    def test_consistency_with_joint_probabilities(self):
+        tau, k = 0.3, 8
+        joint = collision_joint_probabilities(tau, k)
+        conditional = conditional_collision_probabilities(tau, k)
+        assert conditional["P(H|T)"] == pytest.approx(joint.same_bucket_true / (1.0 - tau))
+        assert conditional["P(H|F)"] == pytest.approx(joint.same_bucket_false / tau)
+
+
+class TestEstimators:
+    def test_equation_1_recovers_planted_value(self):
+        # If NH is generated from the model, inverting Eq. (1) recovers NT.
+        tau, k, total = 0.6, 5, 1_000_000
+        true_join = 1234
+        conditional = conditional_collision_probabilities(tau, k)
+        collisions = (
+            true_join * conditional["P(H|T)"] + (total - true_join) * conditional["P(H|F)"]
+        )
+        recovered = estimate_from_conditionals(
+            collisions, total, conditional["P(H|T)"], conditional["P(H|F)"]
+        )
+        assert recovered == pytest.approx(true_join, rel=1e-9)
+
+    def test_equation_4_equals_equation_1_with_uniform_conditionals(self):
+        tau, k, total, collisions = 0.45, 9, 500_000, 321.0
+        conditional = conditional_collision_probabilities(tau, k)
+        via_eq1 = estimate_from_conditionals(
+            collisions, total, conditional["P(H|T)"], conditional["P(H|F)"]
+        )
+        via_eq4 = uniformity_estimate(collisions, total, tau, k)
+        assert via_eq1 == pytest.approx(via_eq4, rel=1e-9)
+
+    def test_uniformity_estimate_clamped(self):
+        assert uniformity_estimate(0.0, 100, 0.9, 10) == 0.0
+        assert uniformity_estimate(1e9, 100, 0.9, 10) == 100.0
+
+    def test_degenerate_denominator_returns_zero(self):
+        assert estimate_from_conditionals(10, 100, 0.2, 0.2) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_from_conditionals(-1, 100, 0.5, 0.1)
+
+
+class TestOptimalK:
+    def test_precision_increases_with_k(self):
+        similarities = np.concatenate([np.full(1000, 0.2), np.full(10, 0.95)])
+        precisions = [empirical_precision(similarities, 0.8, k) for k in (1, 5, 20, 40)]
+        assert all(a <= b + 1e-12 for a, b in zip(precisions, precisions[1:]))
+
+    def test_optimal_k_is_minimal(self):
+        similarities = np.concatenate([np.full(1000, 0.2), np.full(10, 0.95)])
+        k = optimal_num_hashes(similarities, 0.8, target_precision=0.5)
+        assert k is not None
+        assert empirical_precision(similarities, 0.8, k) >= 0.5
+        if k > 1:
+            assert empirical_precision(similarities, 0.8, k - 1) < 0.5
+
+    def test_no_feasible_k_returns_none(self):
+        similarities = np.full(100, 0.2)  # no true pairs at 0.8
+        assert optimal_num_hashes(similarities, 0.8, target_precision=0.5, max_hashes=16) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            optimal_num_hashes([0.5], 0.5, target_precision=0.0)
+        with pytest.raises(ValidationError):
+            optimal_num_hashes([0.5], 0.5, max_hashes=0)
+        with pytest.raises(ValidationError):
+            empirical_precision(np.array([]), 0.5, 3)

@@ -1,0 +1,70 @@
+"""Tests for the Estimate result type and the estimator base class."""
+
+import pytest
+
+from repro.core import Estimate, SimilarityJoinSizeEstimator
+from repro.errors import ValidationError
+
+
+class ConstantEstimator(SimilarityJoinSizeEstimator):
+    """Test double returning a fixed raw value."""
+
+    name = "constant"
+
+    def __init__(self, raw_value: float, total_pairs: int = 100):
+        self._raw_value = raw_value
+        self._total_pairs = total_pairs
+
+    @property
+    def total_pairs(self) -> int:
+        return self._total_pairs
+
+    def _estimate(self, threshold, *, random_state=None):
+        return Estimate(value=self._raw_value, estimator=self.name, threshold=threshold)
+
+
+class TestEstimate:
+    def test_float_conversion(self):
+        assert float(Estimate(value=12.5, estimator="x", threshold=0.5)) == 12.5
+
+    def test_relative_error_overestimate(self):
+        estimate = Estimate(value=150.0, estimator="x", threshold=0.5)
+        assert estimate.relative_error(100.0) == pytest.approx(0.5)
+
+    def test_relative_error_underestimate(self):
+        estimate = Estimate(value=50.0, estimator="x", threshold=0.5)
+        assert estimate.relative_error(100.0) == pytest.approx(-0.5)
+
+    def test_relative_error_empty_join(self):
+        assert Estimate(value=0.0, estimator="x", threshold=0.5).relative_error(0.0) == 0.0
+        assert Estimate(value=5.0, estimator="x", threshold=0.5).relative_error(0.0) == float("inf")
+
+    def test_relative_error_negative_true_size(self):
+        with pytest.raises(ValidationError):
+            Estimate(value=1.0, estimator="x", threshold=0.5).relative_error(-1.0)
+
+    def test_details_default_empty(self):
+        assert Estimate(value=1.0, estimator="x", threshold=0.5).details == {}
+
+
+class TestEstimatorBase:
+    def test_estimate_wraps_and_clamps_upper(self):
+        estimator = ConstantEstimator(raw_value=1e9, total_pairs=500)
+        assert estimator.estimate(0.5).value == 500.0
+
+    def test_estimate_clamps_negative(self):
+        estimator = ConstantEstimator(raw_value=-3.0)
+        assert estimator.estimate(0.5).value == 0.0
+
+    def test_estimate_passes_threshold_through(self):
+        result = ConstantEstimator(10.0).estimate(0.75)
+        assert result.threshold == 0.75
+        assert result.estimator == "constant"
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.0001, 2.0])
+    def test_threshold_validation(self, threshold):
+        with pytest.raises(ValidationError):
+            ConstantEstimator(1.0).estimate(threshold)
+
+    def test_threshold_one_is_allowed(self):
+        assert ConstantEstimator(1.0).estimate(1.0).value == 1.0

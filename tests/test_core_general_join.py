@@ -1,0 +1,136 @@
+"""Tests for the general (non-self) VSJ estimators (§B.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GeneralLSHSSEstimator,
+    GeneralRandomPairSampling,
+    PairedLSHTable,
+)
+from repro.datasets import make_dblp_like
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.join import exact_general_join_size
+from repro.lsh import SignRandomProjectionFamily
+from repro.vectors import VectorCollection
+
+
+@pytest.fixture(scope="module")
+def general_join_setup():
+    """Two DBLP-like collections sharing a vocabulary, plus a paired table."""
+    corpus = make_dblp_like(num_vectors=500, random_state=23)
+    collection = corpus.collection
+    left = collection.subset(list(range(0, 250)))
+    right = collection.subset(list(range(250, 500)))
+    family = SignRandomProjectionFamily(10, random_state=31)
+    paired = PairedLSHTable(family, left, right)
+    return left, right, paired
+
+
+class TestPairedLSHTable:
+    def test_total_pairs_is_cross_product(self, general_join_setup):
+        left, right, paired = general_join_setup
+        assert paired.total_pairs == left.size * right.size
+
+    def test_strata_partition(self, general_join_setup):
+        _, _, paired = general_join_setup
+        assert (
+            paired.num_collision_pairs + paired.num_non_collision_pairs
+            == paired.total_pairs
+        )
+
+    def test_collision_count_matches_bucket_products(self, general_join_setup):
+        left, right, paired = general_join_setup
+        # recompute N_H by brute force over the same-key relation
+        count = 0
+        for i in range(left.size):
+            for j in range(right.size):
+                if paired.same_bucket(i, j):
+                    count += 1
+        assert count == paired.num_collision_pairs
+
+    def test_collision_pair_sampling(self, general_join_setup):
+        _, _, paired = general_join_setup
+        if paired.num_collision_pairs == 0:
+            pytest.skip("no colliding cross pairs for this seed")
+        left_ids, right_ids = paired.sample_collision_pairs(100, random_state=0)
+        assert left_ids.size == 100
+        assert all(paired.same_bucket(int(u), int(v)) for u, v in zip(left_ids, right_ids))
+
+    def test_non_collision_pair_sampling(self, general_join_setup):
+        _, _, paired = general_join_setup
+        left_ids, right_ids = paired.sample_non_collision_pairs(100, random_state=0)
+        assert left_ids.size == 100
+        assert not any(paired.same_bucket(int(u), int(v)) for u, v in zip(left_ids, right_ids))
+
+    def test_dimension_mismatch_rejected(self):
+        family = SignRandomProjectionFamily(4, random_state=0)
+        left = VectorCollection.from_dense([[1.0, 2.0]])
+        right = VectorCollection.from_dense([[1.0, 2.0, 3.0]])
+        with pytest.raises(ValidationError):
+            PairedLSHTable(family, left, right)
+
+    def test_no_shared_buckets_raises_on_h_sampling(self):
+        family = SignRandomProjectionFamily(24, random_state=0)
+        left = VectorCollection.from_dense(np.eye(5))
+        right = VectorCollection.from_dense(-np.eye(5))
+        paired = PairedLSHTable(family, left, right)
+        if paired.num_collision_pairs == 0:
+            with pytest.raises(InsufficientSampleError):
+                paired.sample_collision_pairs(5)
+
+
+class TestGeneralRandomPairSampling:
+    def test_estimate_in_range(self, general_join_setup):
+        left, right, _ = general_join_setup
+        estimator = GeneralRandomPairSampling(left, right)
+        value = estimator.estimate(0.5, random_state=0).value
+        assert 0.0 <= value <= left.size * right.size
+
+    def test_roughly_unbiased_at_low_threshold(self, general_join_setup):
+        left, right, _ = general_join_setup
+        true_size = exact_general_join_size(left, right, 0.1)
+        estimator = GeneralRandomPairSampling(left, right, sample_size=3000)
+        estimates = [estimator.estimate(0.1, random_state=s).value for s in range(20)]
+        assert np.mean(estimates) == pytest.approx(true_size, rel=0.25)
+
+    def test_dimension_mismatch(self):
+        left = VectorCollection.from_dense([[1.0, 0.0]])
+        right = VectorCollection.from_dense([[1.0, 0.0, 0.0]])
+        with pytest.raises(ValidationError):
+            GeneralRandomPairSampling(left, right)
+
+
+class TestGeneralLSHSS:
+    def test_estimate_in_range(self, general_join_setup):
+        _, _, paired = general_join_setup
+        estimator = GeneralLSHSSEstimator(paired)
+        for threshold in (0.2, 0.5, 0.9):
+            value = estimator.estimate(threshold, random_state=0).value
+            assert 0.0 <= value <= paired.total_pairs
+
+    def test_low_threshold_accuracy(self, general_join_setup):
+        left, right, paired = general_join_setup
+        true_size = exact_general_join_size(left, right, 0.1)
+        estimator = GeneralLSHSSEstimator(paired)
+        estimates = [estimator.estimate(0.1, random_state=s).value for s in range(10)]
+        assert np.mean(estimates) == pytest.approx(true_size, rel=0.4)
+
+    def test_details_structure(self, general_join_setup):
+        _, _, paired = general_join_setup
+        details = GeneralLSHSSEstimator(paired).estimate(0.5, random_state=1).details
+        assert "stratum_h" in details and "stratum_l" in details
+
+    def test_dampened_variant(self, general_join_setup):
+        _, _, paired = general_join_setup
+        estimator = GeneralLSHSSEstimator(paired, dampening="auto")
+        assert estimator.name == "LSH-SS(D)-general"
+        assert estimator.estimate(0.7, random_state=0).value >= 0.0
+
+    def test_deterministic_given_seed(self, general_join_setup):
+        _, _, paired = general_join_setup
+        estimator = GeneralLSHSSEstimator(paired)
+        assert (
+            estimator.estimate(0.4, random_state=2).value
+            == estimator.estimate(0.4, random_state=2).value
+        )

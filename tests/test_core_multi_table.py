@@ -1,0 +1,104 @@
+"""Tests for the multi-table extensions (median / virtual-bucket estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LSHSSEstimator, MedianEstimator, VirtualBucketEstimator
+from repro.errors import ValidationError
+from repro.lsh import LSHIndex
+
+
+class TestMedianEstimator:
+    def test_median_of_per_table_estimates(self, small_index):
+        estimator = MedianEstimator(small_index, lambda table: LSHSSEstimator(table))
+        estimate = estimator.estimate(0.5, random_state=0)
+        per_table = estimate.details["per_table_estimates"]
+        assert len(per_table) == len(small_index)
+        assert estimate.value == pytest.approx(float(np.median(per_table)))
+
+    def test_value_within_range_of_table_estimates(self, small_index):
+        estimator = MedianEstimator(small_index, lambda table: LSHSSEstimator(table))
+        estimate = estimator.estimate(0.3, random_state=1)
+        per_table = estimate.details["per_table_estimates"]
+        assert min(per_table) <= estimate.value <= max(per_table)
+
+    def test_custom_name(self, small_index):
+        estimator = MedianEstimator(
+            small_index, lambda table: LSHSSEstimator(table), name="median-custom"
+        )
+        assert estimator.name == "median-custom"
+
+    def test_deterministic_given_seed(self, small_index):
+        estimator = MedianEstimator(small_index, lambda table: LSHSSEstimator(table))
+        assert (
+            estimator.estimate(0.6, random_state=5).value
+            == estimator.estimate(0.6, random_state=5).value
+        )
+
+    def test_total_pairs(self, small_index, small_collection):
+        estimator = MedianEstimator(small_index, lambda table: LSHSSEstimator(table))
+        assert estimator.total_pairs == small_collection.total_pairs
+
+    def test_variance_not_larger_than_single_table(self, small_index, small_histogram):
+        """Taking the median across tables should not increase the spread of
+        estimates compared with a single table (the §B.2.1 argument)."""
+        threshold = 0.5
+        single = LSHSSEstimator(small_index.primary_table)
+        median = MedianEstimator(small_index, lambda table: LSHSSEstimator(table))
+        single_values = [single.estimate(threshold, random_state=s).value for s in range(12)]
+        median_values = [median.estimate(threshold, random_state=s).value for s in range(12)]
+        assert np.std(median_values) <= np.std(single_values) * 1.5
+
+
+class TestVirtualBucketEstimator:
+    def test_virtual_stratum_at_least_single_table(self, small_index):
+        estimator = VirtualBucketEstimator(small_index)
+        assert (
+            estimator.num_virtual_collision_pairs
+            >= small_index.primary_table.num_collision_pairs
+        )
+
+    def test_estimate_in_range(self, small_index):
+        estimator = VirtualBucketEstimator(small_index)
+        for threshold in (0.2, 0.6, 0.9):
+            value = estimator.estimate(threshold, random_state=0).value
+            assert 0.0 <= value <= estimator.total_pairs
+
+    def test_details_report_virtual_pairs(self, small_index):
+        estimator = VirtualBucketEstimator(small_index)
+        details = estimator.estimate(0.5, random_state=2).details
+        assert details["num_virtual_collision_pairs"] == estimator.num_virtual_collision_pairs
+
+    def test_estimate_is_sum_of_strata(self, small_index):
+        estimate = VirtualBucketEstimator(small_index).estimate(0.7, random_state=3)
+        assert estimate.value == pytest.approx(
+            estimate.details["stratum_h"] + estimate.details["stratum_l"]
+        )
+
+    def test_deterministic_given_seed(self, small_index):
+        estimator = VirtualBucketEstimator(small_index)
+        assert (
+            estimator.estimate(0.8, random_state=9).value
+            == estimator.estimate(0.8, random_state=9).value
+        )
+
+    def test_dampening_accepted(self, small_index):
+        estimator = VirtualBucketEstimator(small_index, dampening="auto")
+        assert estimator.estimate(0.6, random_state=1).value >= 0.0
+
+    def test_improves_high_threshold_coverage_over_single_table(
+        self, small_index, small_histogram
+    ):
+        """The virtual stratum H captures at least as many of the true pairs as
+        a single table's stratum H, so the high-threshold estimate should not
+        be smaller on average (the §B.2.1 motivation for virtual buckets)."""
+        threshold = 0.9
+        single = LSHSSEstimator(small_index.primary_table)
+        virtual = VirtualBucketEstimator(small_index)
+        single_mean = np.mean(
+            [single.estimate(threshold, random_state=s).value for s in range(10)]
+        )
+        virtual_mean = np.mean(
+            [virtual.estimate(threshold, random_state=s).value for s in range(10)]
+        )
+        assert virtual_mean >= 0.8 * single_mean

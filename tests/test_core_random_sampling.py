@@ -1,0 +1,97 @@
+"""Tests for the RS(pop) and RS(cross) baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossSampling, RandomPairSampling
+from repro.core.random_sampling import default_random_sampling_size
+from repro.errors import ValidationError
+from repro.join import exact_join_size
+from repro.vectors import VectorCollection
+
+
+class TestDefaults:
+    def test_default_sample_size_is_1_5n(self):
+        assert default_random_sampling_size(1000) == 1500
+        assert default_random_sampling_size(1) == 2  # rounded, at least 1
+
+
+class TestRandomPairSampling:
+    def test_estimate_in_feasible_range(self, small_collection):
+        estimator = RandomPairSampling(small_collection)
+        estimate = estimator.estimate(0.5, random_state=0)
+        assert 0.0 <= estimate.value <= small_collection.total_pairs
+
+    def test_unbiasedness_at_low_threshold(self, small_collection, small_histogram):
+        true_size = small_histogram.join_size(0.2)
+        estimator = RandomPairSampling(small_collection, sample_size=4000)
+        estimates = [estimator.estimate(0.2, random_state=seed).value for seed in range(30)]
+        assert np.mean(estimates) == pytest.approx(true_size, rel=0.15)
+
+    def test_zero_when_no_true_pair_sampled(self):
+        collection = VectorCollection.from_dense(np.eye(20))
+        estimator = RandomPairSampling(collection, sample_size=50)
+        assert estimator.estimate(0.9, random_state=0).value == 0.0
+
+    def test_high_threshold_fluctuation(self, small_collection, small_histogram):
+        """The paper's motivating failure: at high thresholds RS mostly returns 0
+        and occasionally a huge scaled-up value."""
+        true_size = small_histogram.join_size(0.9)
+        assert true_size > 0
+        estimator = RandomPairSampling(small_collection)
+        values = np.array(
+            [estimator.estimate(0.9, random_state=seed).value for seed in range(40)]
+        )
+        assert np.count_nonzero(values == 0.0) > 5
+        assert values.max() > 2 * true_size
+
+    def test_details_recorded(self, small_collection):
+        estimate = RandomPairSampling(small_collection, sample_size=100).estimate(
+            0.3, random_state=1
+        )
+        assert estimate.details["sample_size"] == 100
+        assert estimate.details["true_in_sample"] >= 0
+
+    def test_deterministic_given_seed(self, small_collection):
+        estimator = RandomPairSampling(small_collection)
+        a = estimator.estimate(0.4, random_state=3).value
+        b = estimator.estimate(0.4, random_state=3).value
+        assert a == b
+
+    def test_invalid_sample_size(self, small_collection):
+        with pytest.raises(ValidationError):
+            RandomPairSampling(small_collection, sample_size=0)
+
+    def test_name(self, small_collection):
+        assert RandomPairSampling(small_collection).name == "RS(pop)"
+
+
+class TestCrossSampling:
+    def test_estimate_in_feasible_range(self, small_collection):
+        estimator = CrossSampling(small_collection)
+        estimate = estimator.estimate(0.5, random_state=0)
+        assert 0.0 <= estimate.value <= small_collection.total_pairs
+
+    def test_roughly_unbiased_at_low_threshold(self, small_collection, small_histogram):
+        true_size = small_histogram.join_size(0.1)
+        estimator = CrossSampling(small_collection, sample_size=4000)
+        estimates = [estimator.estimate(0.1, random_state=seed).value for seed in range(30)]
+        assert np.mean(estimates) == pytest.approx(true_size, rel=0.25)
+
+    def test_details_report_pairs_considered(self, small_collection):
+        estimate = CrossSampling(small_collection, sample_size=400).estimate(
+            0.3, random_state=2
+        )
+        assert estimate.details["pairs_considered"] == 190  # C(20, 2)
+
+    def test_exact_when_sample_covers_collection(self, tiny_collection):
+        estimator = CrossSampling(tiny_collection, sample_size=10_000)
+        estimate = estimator.estimate(0.99, random_state=0)
+        assert estimate.value == exact_join_size(tiny_collection, 0.99)
+
+    def test_invalid_sample_size(self, small_collection):
+        with pytest.raises(ValidationError):
+            CrossSampling(small_collection, sample_size=-5)
+
+    def test_name(self, small_collection):
+        assert CrossSampling(small_collection).name == "RS(cross)"

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DimensionMismatchError,
+    EmptyCollectionError,
+    EstimationError,
+    IndexNotBuiltError,
+    InsufficientSampleError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (
+            ValidationError,
+            EmptyCollectionError,
+            DimensionMismatchError,
+            EstimationError,
+            InsufficientSampleError,
+            IndexNotBuiltError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_empty_collection_is_validation_error(self):
+        assert issubclass(EmptyCollectionError, ValidationError)
+
+    def test_dimension_mismatch_is_validation_error(self):
+        assert issubclass(DimensionMismatchError, ValidationError)
+
+    def test_insufficient_sample_is_estimation_error(self):
+        assert issubclass(InsufficientSampleError, EstimationError)
+
+    def test_errors_carry_messages(self):
+        with pytest.raises(ValidationError, match="broken"):
+            raise ValidationError("broken input")
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(ReproError):
+            raise InsufficientSampleError("no pairs")

@@ -1,0 +1,101 @@
+"""Tests for the evaluation metrics (relative error split, trial summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.evaluation import (
+    mean_overestimation_error,
+    mean_underestimation_error,
+    signed_relative_error,
+    summarize_trials,
+)
+from repro.evaluation.metrics import count_large_errors
+
+
+class TestSignedRelativeError:
+    def test_overestimate_positive(self):
+        assert signed_relative_error(150, 100) == pytest.approx(0.5)
+
+    def test_underestimate_negative(self):
+        assert signed_relative_error(25, 100) == pytest.approx(-0.75)
+
+    def test_exact_is_zero(self):
+        assert signed_relative_error(100, 100) == 0.0
+
+    def test_zero_estimate_is_minus_one(self):
+        assert signed_relative_error(0, 100) == -1.0
+
+    def test_empty_join_conventions(self):
+        assert signed_relative_error(0, 0) == 0.0
+        assert signed_relative_error(5, 0) == float("inf")
+
+    def test_negative_true_size_rejected(self):
+        with pytest.raises(ValidationError):
+            signed_relative_error(1, -1)
+
+
+class TestSplitErrors:
+    def test_only_overestimates_counted(self):
+        estimates = [200, 50, 100]
+        assert mean_overestimation_error(estimates, 100) == pytest.approx(1.0)
+
+    def test_only_underestimates_counted(self):
+        estimates = [200, 50, 100]
+        assert mean_underestimation_error(estimates, 100) == pytest.approx(-0.5)
+
+    def test_zero_when_no_matching_side(self):
+        assert mean_overestimation_error([10, 20], 100) == 0.0
+        assert mean_underestimation_error([150, 200], 100) == 0.0
+
+    def test_underestimation_bounded_by_minus_one(self):
+        assert mean_underestimation_error([0, 0], 100) == -1.0
+
+
+class TestSummarizeTrials:
+    def test_summary_fields(self):
+        summary = summarize_trials([90, 110, 100, 120], 100)
+        assert summary.num_trials == 4
+        assert summary.mean_estimate == pytest.approx(105.0)
+        assert summary.std_estimate == pytest.approx(np.std([90, 110, 100, 120]))
+        assert summary.num_overestimates == 2
+        assert summary.num_underestimates == 1
+        assert summary.mean_overestimation == pytest.approx(0.15)
+        assert summary.mean_underestimation == pytest.approx(-0.1)
+
+    def test_mean_absolute_error(self):
+        summary = summarize_trials([50, 150], 100)
+        assert summary.mean_absolute_relative_error == pytest.approx(0.5)
+
+    def test_unbounded_errors_tracked(self):
+        summary = summarize_trials([0.0, 10.0], 0)
+        assert summary.num_unbounded == 1
+        assert summary.num_overestimates == 1
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_trials([1.0, 2.0], 2)
+        as_dict = summary.as_dict()
+        assert as_dict["num_trials"] == 2
+        assert as_dict["true_size"] == 2
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize_trials([], 10)
+
+
+class TestCountLargeErrors:
+    def test_overestimates_counted(self):
+        result = count_large_errors([1500, 90, 100], 100, factor=10)
+        assert result == {"overestimates": 1, "underestimates": 0}
+
+    def test_underestimates_counted(self):
+        result = count_large_errors([5, 0, 100], 100, factor=10)
+        assert result == {"overestimates": 0, "underestimates": 2}
+
+    def test_empty_join(self):
+        result = count_large_errors([0, 3], 0, factor=10)
+        assert result == {"overestimates": 1, "underestimates": 0}
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValidationError):
+            count_large_errors([1], 1, factor=1.0)

@@ -1,0 +1,118 @@
+"""Tests for the experiment runner and the report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core import LSHSSEstimator, RandomPairSampling
+from repro.errors import ValidationError
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.report import format_table, records_to_markdown, series_table
+from repro.evaluation.runner import records_by_estimator
+
+
+@pytest.fixture(scope="module")
+def runner_and_records(request):
+    small_collection = request.getfixturevalue("small_collection")
+    small_table = request.getfixturevalue("small_table")
+    small_histogram = request.getfixturevalue("small_histogram")
+    runner = ExperimentRunner(
+        small_collection,
+        thresholds=[0.3, 0.9],
+        num_trials=4,
+        histogram=small_histogram,
+        random_state=0,
+    )
+    estimators = [LSHSSEstimator(small_table), RandomPairSampling(small_collection)]
+    records = runner.run(estimators)
+    return runner, records
+
+
+class TestExperimentRunner:
+    def test_true_sizes_match_histogram(self, runner_and_records, small_histogram):
+        runner, _ = runner_and_records
+        sizes = runner.true_sizes()
+        assert sizes[0.3] == small_histogram.join_size(0.3)
+        assert sizes[0.9] == small_histogram.join_size(0.9)
+
+    def test_record_count(self, runner_and_records):
+        _, records = runner_and_records
+        assert len(records) == 2 * 2  # estimators x thresholds
+
+    def test_each_record_has_requested_trials(self, runner_and_records):
+        _, records = runner_and_records
+        assert all(len(record.estimates) == 4 for record in records)
+
+    def test_runtime_measured(self, runner_and_records):
+        _, records = runner_and_records
+        assert all(record.mean_runtime_seconds > 0 for record in records)
+
+    def test_summary_attached(self, runner_and_records):
+        _, records = runner_and_records
+        for record in records:
+            assert record.summary.num_trials == 4
+            assert record.summary.true_size == record.true_size
+
+    def test_as_dict(self, runner_and_records):
+        _, records = runner_and_records
+        row = records[0].as_dict()
+        assert {"estimator", "threshold", "true_size", "mean_estimate"}.issubset(row)
+
+    def test_records_by_estimator(self, runner_and_records):
+        _, records = runner_and_records
+        grouped = records_by_estimator(records)
+        assert set(grouped) == {"LSH-SS", "RS(pop)"}
+        assert len(grouped["LSH-SS"]) == 2
+
+    def test_run_estimator_with_custom_thresholds(self, runner_and_records, small_table):
+        runner, _ = runner_and_records
+        records = runner.run_estimator(
+            LSHSSEstimator(small_table), thresholds=[0.5], num_trials=2
+        )
+        assert len(records) == 1
+        assert len(records[0].estimates) == 2
+
+    def test_reproducible_given_master_seed(self, small_collection, small_table, small_histogram):
+        def build():
+            runner = ExperimentRunner(
+                small_collection,
+                thresholds=[0.5],
+                num_trials=3,
+                histogram=small_histogram,
+                random_state=42,
+            )
+            return runner.run([LSHSSEstimator(small_table)])[0].estimates
+
+        assert build() == build()
+
+    def test_invalid_parameters(self, small_collection):
+        with pytest.raises(ValidationError):
+            ExperimentRunner(small_collection, thresholds=[], num_trials=1)
+        with pytest.raises(ValidationError):
+            ExperimentRunner(small_collection, thresholds=[0.5], num_trials=0)
+
+    def test_run_requires_estimators(self, runner_and_records):
+        runner, _ = runner_and_records
+        with pytest.raises(ValidationError):
+            runner.run([])
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], ["xyz", 9]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_records_to_markdown(self, runner_and_records):
+        _, records = runner_and_records
+        markdown = records_to_markdown(records, title="Demo")
+        assert markdown.startswith("### Demo")
+        assert markdown.count("|") > 10
+        assert "LSH-SS" in markdown
+
+    def test_series_table_contains_all_thresholds(self, runner_and_records):
+        _, records = runner_and_records
+        table = series_table(records, title="Figure X")
+        assert "0.3" in table and "0.9" in table
+        assert "LSH-SS over%" in table

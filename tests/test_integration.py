@@ -1,0 +1,147 @@
+"""End-to-end integration tests across subsystems.
+
+These tests exercise the full pipeline the paper describes: generate a
+corpus, build the extended LSH index, estimate the join size with every
+estimator, and compare against the exact join oracle — i.e. a miniature
+version of the benchmark experiments with assertions on the qualitative
+behaviour the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrossSampling,
+    ExperimentRunner,
+    LSHIndex,
+    LSHSEstimator,
+    LSHSSEstimator,
+    LatticeCountingEstimator,
+    MedianEstimator,
+    RandomPairSampling,
+    UniformityEstimator,
+    VirtualBucketEstimator,
+    exact_join_size,
+    make_dblp_like,
+)
+from repro.evaluation import empirical_stratum_probabilities, summarize_trials
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    collection = request.getfixturevalue("small_collection")
+    histogram = request.getfixturevalue("small_histogram")
+    index = LSHIndex(collection, num_hashes=12, num_tables=3, random_state=101)
+    return collection, histogram, index
+
+
+ALL_THRESHOLDS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+class TestFullPipeline:
+    def test_every_estimator_produces_feasible_estimates(self, pipeline):
+        collection, histogram, index = pipeline
+        table = index.primary_table
+        estimators = [
+            RandomPairSampling(collection),
+            CrossSampling(collection),
+            UniformityEstimator(table),
+            LSHSEstimator(table),
+            LSHSSEstimator(table),
+            LSHSSEstimator(table, dampening="auto"),
+            LatticeCountingEstimator(table),
+            MedianEstimator(index, lambda t: LSHSSEstimator(t)),
+            VirtualBucketEstimator(index),
+        ]
+        for estimator in estimators:
+            for threshold in ALL_THRESHOLDS:
+                value = estimator.estimate(threshold, random_state=0).value
+                assert 0.0 <= value <= collection.total_pairs, estimator.name
+
+    def test_lsh_ss_tracks_truth_across_range(self, pipeline):
+        """LSH-SS should be within an order of magnitude of the truth at every
+        threshold (the paper's headline: reliable across the whole range)."""
+        collection, histogram, index = pipeline
+        estimator = LSHSSEstimator(index.primary_table)
+        for threshold in ALL_THRESHOLDS:
+            true_size = histogram.join_size(threshold)
+            estimates = [
+                estimator.estimate(threshold, random_state=seed).value for seed in range(10)
+            ]
+            mean_estimate = np.mean(estimates)
+            assert mean_estimate <= 10 * max(true_size, 1)
+            assert mean_estimate >= 0.02 * true_size
+
+    def test_lsh_ss_never_wildly_overestimates_at_high_threshold(self, pipeline):
+        collection, histogram, index = pipeline
+        estimator = LSHSSEstimator(index.primary_table)
+        true_size = histogram.join_size(0.9)
+        for seed in range(20):
+            assert estimator.estimate(0.9, random_state=seed).value <= 10 * max(true_size, 1)
+
+    def test_random_sampling_fluctuates_at_high_threshold(self, pipeline):
+        """The motivating failure mode (Example 1): RS estimates at τ=0.9 swing
+        between 0 and huge scaled-up values."""
+        collection, histogram, index = pipeline
+        estimator = RandomPairSampling(collection)
+        values = np.array(
+            [estimator.estimate(0.9, random_state=seed).value for seed in range(30)]
+        )
+        true_size = histogram.join_size(0.9)
+        assert np.any(values == 0.0)
+        assert np.std(values) > np.std(
+            [
+                LSHSSEstimator(index.primary_table).estimate(0.9, random_state=seed).value
+                for seed in range(30)
+            ]
+        )
+
+    def test_stratum_probabilities_support_the_method(self, pipeline):
+        """Table 1's qualitative claims on the synthetic corpus: P(T|H) stays
+        usable at high thresholds while P(T) collapses."""
+        collection, histogram, index = pipeline
+        rows = empirical_stratum_probabilities(
+            index.primary_table, [0.5, 0.9], histogram=histogram
+        )
+        for row in rows:
+            assert row.probability_true_given_h > 10 * row.probability_true
+
+    def test_experiment_runner_end_to_end(self, pipeline):
+        collection, histogram, index = pipeline
+        runner = ExperimentRunner(
+            collection, thresholds=[0.5, 0.9], num_trials=3, histogram=histogram, random_state=1
+        )
+        records = runner.run(
+            [LSHSSEstimator(index.primary_table), RandomPairSampling(collection)]
+        )
+        assert len(records) == 4
+        summary = summarize_trials(records[0].estimates, records[0].true_size)
+        assert summary.num_trials == 3
+
+    def test_runtime_advantage_over_exact_join(self, pipeline):
+        """Estimation must touch far fewer pairs than the exact join: the
+        estimator examines O(n) pairs versus O(n²) for the oracle."""
+        collection, histogram, index = pipeline
+        estimator = LSHSSEstimator(index.primary_table)
+        estimate = estimator.estimate(0.7, random_state=0)
+        pairs_examined = (
+            estimator.sample_size_h + estimate.details["samples_taken_l"]
+        )
+        assert pairs_examined <= 3 * collection.size
+        assert collection.total_pairs > 50 * pairs_examined
+
+
+class TestScaleConsistency:
+    def test_larger_corpus_keeps_estimator_consistent(self):
+        """Regenerate a slightly larger corpus and check LSH-SS stays in the
+        right ballpark at a high threshold (guards against size-dependent
+        scaling bugs in N_H / N_L bookkeeping)."""
+        corpus = make_dblp_like(num_vectors=800, random_state=29)
+        collection = corpus.collection
+        index = LSHIndex(collection, num_hashes=15, random_state=31)
+        true_size = exact_join_size(collection, 0.95)
+        estimator = LSHSSEstimator(index.primary_table)
+        estimates = [estimator.estimate(0.95, random_state=seed).value for seed in range(8)]
+        assert np.mean(estimates) <= 10 * max(true_size, 1)
+        if true_size > 0:
+            assert np.mean(estimates) >= 0.05 * true_size

@@ -1,0 +1,130 @@
+"""Tests for the LSH hash-function families.
+
+The key property under test is Definition 3: the empirical collision rate
+of a family must track its theoretical collision-probability curve for
+pairs of known similarity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lsh import MinHashFamily, PStableL2Family, SignRandomProjectionFamily
+from repro.vectors import VectorCollection, jaccard_similarity
+from repro.vectors.similarity import cosine_similarity
+
+
+def _pair_collection(u, v):
+    return VectorCollection.from_dense([u, v])
+
+
+class TestSignRandomProjection:
+    def test_signature_shape_and_values(self, small_collection):
+        family = SignRandomProjectionFamily(16, random_state=0)
+        signatures = family.hash_collection(small_collection)
+        assert signatures.shape == (small_collection.size, 16)
+        assert set(np.unique(signatures)).issubset({0, 1})
+
+    def test_identical_vectors_always_collide(self):
+        collection = _pair_collection([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        family = SignRandomProjectionFamily(64, random_state=1)
+        signatures = family.hash_collection(collection)
+        np.testing.assert_array_equal(signatures[0], signatures[1])
+
+    def test_collision_probability_formula(self):
+        family = SignRandomProjectionFamily(8, random_state=0)
+        assert family.collision_probability(1.0) == pytest.approx(1.0)
+        assert family.collision_probability(0.0) == pytest.approx(0.5)
+        assert family.collision_probability(-1.0) == pytest.approx(0.0)
+
+    def test_empirical_collision_rate_matches_theory(self):
+        rng = np.random.default_rng(7)
+        dimension = 30
+        base = rng.standard_normal(dimension)
+        other = base + 0.6 * rng.standard_normal(dimension)
+        collection = _pair_collection(base.tolist(), other.tolist())
+        similarity = cosine_similarity(base, other)
+        family = SignRandomProjectionFamily(4000, random_state=3)
+        signatures = family.hash_collection(collection)
+        empirical = float(np.mean(signatures[0] == signatures[1]))
+        expected = float(family.collision_probability(similarity))
+        assert empirical == pytest.approx(expected, abs=0.03)
+
+    def test_bucket_collision_probability_is_power(self):
+        family = SignRandomProjectionFamily(10, random_state=0)
+        single = family.collision_probability(0.8)
+        assert family.bucket_collision_probability(0.8) == pytest.approx(single**10)
+
+    def test_dimension_mismatch_rejected(self, small_collection):
+        family = SignRandomProjectionFamily(4, random_state=0)
+        family.hash_collection(small_collection)
+        other = VectorCollection.from_dense([[1.0, 2.0]])
+        with pytest.raises(ValidationError):
+            family.hash_collection(other)
+
+    def test_deterministic_given_seed(self, small_collection):
+        a = SignRandomProjectionFamily(8, random_state=5).hash_collection(small_collection)
+        b = SignRandomProjectionFamily(8, random_state=5).hash_collection(small_collection)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            SignRandomProjectionFamily(0)
+
+
+class TestMinHash:
+    def test_signature_shape(self, binary_collection):
+        family = MinHashFamily(10, random_state=0)
+        signatures = family.hash_collection(binary_collection)
+        assert signatures.shape == (binary_collection.size, 10)
+
+    def test_identical_sets_identical_signatures(self, binary_collection):
+        family = MinHashFamily(24, random_state=2)
+        signatures = family.hash_collection(binary_collection)
+        np.testing.assert_array_equal(signatures[0], signatures[1])
+
+    def test_collision_probability_equals_jaccard(self):
+        family = MinHashFamily(4, random_state=0)
+        assert family.collision_probability(0.37) == pytest.approx(0.37)
+        assert family.collision_probability(1.3) == pytest.approx(1.0)
+
+    def test_empirical_collision_rate_tracks_jaccard(self):
+        set_a = set(range(0, 40))
+        set_b = set(range(20, 60))
+        collection = VectorCollection.from_token_sets([set_a, set_b], dimension=60)
+        family = MinHashFamily(3000, random_state=11)
+        signatures = family.hash_collection(collection)
+        empirical = float(np.mean(signatures[0] == signatures[1]))
+        expected = jaccard_similarity(set_a, set_b)
+        # linear permutation-hashes are only approximately min-wise
+        # independent, so allow a few percent of bias on top of sampling noise
+        assert empirical == pytest.approx(expected, abs=0.07)
+
+    def test_empty_support_gets_sentinel_signature(self):
+        collection = VectorCollection.from_dicts([{0: 0.0}, {1: 1.0}], dimension=2)
+        family = MinHashFamily(5, random_state=0)
+        signatures = family.hash_collection(collection)
+        assert signatures[0].min() > 0  # sentinel, not a real hash of tokens
+
+
+class TestPStable:
+    def test_signature_shape(self, small_collection):
+        family = PStableL2Family(6, bucket_width=4.0, random_state=0)
+        signatures = family.hash_collection(small_collection)
+        assert signatures.shape == (small_collection.size, 6)
+
+    def test_identical_vectors_collide(self):
+        collection = _pair_collection([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        family = PStableL2Family(32, random_state=0)
+        signatures = family.hash_collection(collection)
+        np.testing.assert_array_equal(signatures[0], signatures[1])
+
+    def test_collision_probability_decreases_with_distance(self):
+        family = PStableL2Family(4, bucket_width=4.0, random_state=0)
+        probabilities = family.collision_probability(np.array([0.0, 1.0, 4.0, 16.0]))
+        assert probabilities[0] == pytest.approx(1.0)
+        assert np.all(np.diff(probabilities) < 0)
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ValidationError):
+            PStableL2Family(4, bucket_width=0.0)

@@ -1,0 +1,103 @@
+"""Tests for the multi-table LSH index and virtual-bucket view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.lsh import LSHIndex, MinHashFamily, SignRandomProjectionFamily
+from repro.lsh.index import build_index, resolve_family
+from repro.vectors import VectorCollection
+
+
+class TestResolveFamily:
+    def test_cosine_name(self):
+        assert resolve_family("cosine") is SignRandomProjectionFamily
+        assert resolve_family("angular") is SignRandomProjectionFamily
+
+    def test_jaccard_name(self):
+        assert resolve_family("jaccard") is MinHashFamily
+
+    def test_class_passthrough(self):
+        assert resolve_family(MinHashFamily) is MinHashFamily
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            resolve_family("hamming-nope")
+
+    def test_non_family_class(self):
+        with pytest.raises(ValidationError):
+            resolve_family(dict)
+
+
+class TestIndexConstruction:
+    def test_number_of_tables(self, small_index):
+        assert len(small_index) == 3
+        assert len(small_index.tables) == 3
+
+    def test_tables_use_independent_hash_functions(self, small_index):
+        signatures = [table.signatures for table in small_index.tables]
+        assert not np.array_equal(signatures[0], signatures[1])
+
+    def test_primary_table(self, small_index):
+        assert small_index.primary_table is small_index.tables[0]
+        assert small_index[0] is small_index.tables[0]
+
+    def test_iteration(self, small_index):
+        assert sum(1 for _ in small_index) == 3
+
+    def test_invalid_num_tables(self, small_collection):
+        with pytest.raises(ValidationError):
+            LSHIndex(small_collection, num_tables=0)
+
+    def test_deterministic_given_seed(self, small_collection):
+        a = LSHIndex(small_collection, num_hashes=6, num_tables=2, random_state=4)
+        b = LSHIndex(small_collection, num_hashes=6, num_tables=2, random_state=4)
+        np.testing.assert_array_equal(a.tables[1].signatures, b.tables[1].signatures)
+
+    def test_build_index_helper(self, small_collection):
+        index = build_index(small_collection, num_hashes=5, num_tables=2, random_state=0)
+        assert len(index) == 2
+
+    def test_jaccard_family_index(self, binary_collection):
+        index = LSHIndex(binary_collection, num_hashes=8, family="jaccard", random_state=0)
+        assert index.primary_table.num_collision_pairs >= 1  # identical records collide
+
+    def test_memory_estimate_sums_tables(self, small_index):
+        total = small_index.memory_estimate_bytes()
+        assert total == sum(t.memory_estimate_bytes() for t in small_index.tables)
+
+
+class TestVirtualBuckets:
+    def test_same_bucket_any_consistent_with_tables(self, small_index, rng):
+        left = rng.integers(0, small_index.collection.size, size=100)
+        right = rng.integers(0, small_index.collection.size, size=100)
+        vectorised = small_index.same_bucket_any_many(left, right)
+        scalar = [small_index.same_bucket_any(int(i), int(j)) for i, j in zip(left, right)]
+        assert vectorised.tolist() == scalar
+
+    def test_virtual_pairs_are_deduplicated_and_ordered(self, small_index):
+        left, right = small_index.virtual_collision_pairs()
+        assert np.all(left < right)
+        keys = set(zip(left.tolist(), right.tolist()))
+        assert len(keys) == left.size
+
+    def test_virtual_pairs_superset_of_single_table(self, small_index):
+        left, right = small_index.virtual_collision_pairs()
+        virtual = set(zip(left.tolist(), right.tolist()))
+        table_pairs = {
+            (min(u, v), max(u, v))
+            for u, v in small_index.primary_table.iter_collision_pairs()
+        }
+        assert table_pairs.issubset(virtual)
+
+    def test_every_virtual_pair_collides_somewhere(self, small_index):
+        left, right = small_index.virtual_collision_pairs()
+        for u, v in zip(left[:200], right[:200]):
+            assert small_index.same_bucket_any(int(u), int(v))
+
+    def test_max_pairs_guard(self):
+        # k=1 groups nearly everything together: enumeration must refuse.
+        collection = VectorCollection.from_dense(np.random.default_rng(0).random((200, 4)))
+        index = LSHIndex(collection, num_hashes=1, num_tables=2, random_state=1)
+        with pytest.raises(ValidationError):
+            index.virtual_collision_pairs(max_pairs=10)

@@ -1,0 +1,48 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_key_estimators_exported(self):
+        for name in (
+            "LSHSSEstimator",
+            "LSHSEstimator",
+            "UniformityEstimator",
+            "RandomPairSampling",
+            "CrossSampling",
+            "LatticeCountingEstimator",
+            "MedianEstimator",
+            "VirtualBucketEstimator",
+        ):
+            assert name in repro.__all__
+
+    def test_substrates_exported(self):
+        for name in (
+            "VectorCollection",
+            "LSHIndex",
+            "LSHTable",
+            "SimilarityHistogram",
+            "exact_join_size",
+            "make_dblp_like",
+            "ExperimentRunner",
+        ):
+            assert name in repro.__all__
+
+    def test_docstring_quickstart_runs(self):
+        """The quickstart in the package docstring must actually work."""
+        corpus = repro.make_dblp_like(num_vectors=300, random_state=0)
+        index = repro.LSHIndex(corpus.collection, num_hashes=10, random_state=0)
+        estimator = repro.LSHSSEstimator(index.primary_table)
+        estimate = estimator.estimate(0.8, random_state=0)
+        true_size = repro.exact_join_size(corpus.collection, 0.8)
+        assert estimate.value >= 0
+        assert true_size >= 0

@@ -1,0 +1,143 @@
+"""Tests for Lipton-style adaptive sampling (the SampleL subroutine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sampling import AdaptiveSampleResult, adaptive_sample
+
+
+def make_source(population_similarities: np.ndarray):
+    """Pair source drawing uniformly from a fixed population of similarities."""
+
+    def source(batch_size, rng):
+        indices = rng.integers(0, population_similarities.size, size=batch_size)
+        return indices, indices  # left == right index into the population
+
+    def evaluator(left, _right):
+        return population_similarities[left]
+
+    return source, evaluator
+
+
+class TestAdaptiveSample:
+    def test_terminates_by_answer_threshold_when_true_pairs_common(self):
+        population = np.concatenate([np.full(500, 0.9), np.full(500, 0.1)])
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=10, max_samples=10_000, random_state=0
+        )
+        assert result.reached_answer_threshold
+        assert result.true_count == 10
+        assert result.samples_taken <= 10_000
+
+    def test_exact_sample_index_of_delta_th_true_pair(self):
+        # deterministic population: every 2nd pair is true -> the 5th true pair
+        # is found at sample index ~10 (within one batch, order is random but
+        # the count at termination must be exactly delta).
+        population = np.array([0.9, 0.1] * 50)
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=5, max_samples=1000, random_state=1
+        )
+        assert result.true_count == 5
+        assert result.samples_taken >= 5
+
+    def test_budget_exhausted_returns_partial_count(self):
+        population = np.full(1000, 0.1)  # no true pairs at threshold 0.5
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=5, max_samples=200, random_state=0
+        )
+        assert not result.reached_answer_threshold
+        assert result.true_count == 0
+        assert result.samples_taken == 200
+
+    def test_scaled_estimate_when_reliable(self):
+        population = np.concatenate([np.full(100, 0.9), np.full(900, 0.1)])
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=20, max_samples=50_000, random_state=3
+        )
+        assert result.reached_answer_threshold
+        estimate = result.estimate(population_size=1_000_000)
+        # true fraction is 10%, so the estimate should be near 100_000
+        assert estimate == pytest.approx(100_000, rel=0.5)
+
+    def test_safe_lower_bound_when_unreliable(self):
+        population = np.concatenate([np.full(2, 0.9), np.full(9998, 0.1)])
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=50, max_samples=300, random_state=0
+        )
+        assert not result.reached_answer_threshold
+        estimate = result.estimate(population_size=10**9)
+        assert estimate == result.true_count  # not scaled up
+
+    def test_dampened_estimate(self):
+        result = AdaptiveSampleResult(
+            true_count=4,
+            samples_taken=1000,
+            reached_answer_threshold=False,
+            answer_threshold=10,
+            max_samples=1000,
+        )
+        plain = result.estimate(1_000_000)
+        dampened = result.estimate(1_000_000, dampening=0.5)
+        assert plain == 4
+        assert dampened == pytest.approx(4 * 0.5 * 1_000_000 / 1000)
+
+    def test_dampening_out_of_range(self):
+        result = AdaptiveSampleResult(
+            true_count=1,
+            samples_taken=10,
+            reached_answer_threshold=False,
+            answer_threshold=5,
+            max_samples=10,
+        )
+        with pytest.raises(ValidationError):
+            result.estimate(100, dampening=1.5)
+
+    def test_dampening_ignored_when_reliable(self):
+        result = AdaptiveSampleResult(
+            true_count=10,
+            samples_taken=100,
+            reached_answer_threshold=True,
+            answer_threshold=10,
+            max_samples=1000,
+        )
+        assert result.estimate(10_000, dampening=0.1) == pytest.approx(1000.0)
+
+    def test_invalid_parameters(self):
+        source, evaluator = make_source(np.full(10, 0.5))
+        with pytest.raises(ValidationError):
+            adaptive_sample(source, evaluator, 0.5, answer_threshold=0, max_samples=10)
+        with pytest.raises(ValidationError):
+            adaptive_sample(source, evaluator, 0.5, answer_threshold=1, max_samples=0)
+
+    def test_samples_never_exceed_budget(self):
+        population = np.full(100, 0.1)
+        source, evaluator = make_source(population)
+        result = adaptive_sample(
+            source, evaluator, 0.5, answer_threshold=3, max_samples=77, random_state=0,
+            batch_size=10,
+        )
+        assert result.samples_taken == 77
+
+    def test_estimator_unbiased_over_repeats(self):
+        """Scaled-up adaptive estimates average out near the true count."""
+        population = np.concatenate([np.full(50, 0.95), np.full(950, 0.05)])
+        source, evaluator = make_source(population)
+        population_size = 1000
+        estimates = []
+        for seed in range(40):
+            result = adaptive_sample(
+                source,
+                evaluator,
+                0.5,
+                answer_threshold=5,
+                max_samples=2000,
+                random_state=seed,
+            )
+            estimates.append(result.estimate(population_size))
+        assert np.mean(estimates) == pytest.approx(50, rel=0.35)

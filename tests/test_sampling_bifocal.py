@@ -1,0 +1,68 @@
+"""Tests for the bifocal equi-join baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sampling import bifocal_join_size_estimate
+from repro.sampling.bifocal import exact_equi_join_size
+
+
+class TestExactEquiJoin:
+    def test_simple_join(self):
+        assert exact_equi_join_size([1, 1, 2], [1, 2, 2]) == 2 * 1 + 1 * 2
+
+    def test_disjoint_keys(self):
+        assert exact_equi_join_size([1, 2], [3, 4]) == 0
+
+    def test_self_join_of_duplicates(self):
+        assert exact_equi_join_size([5] * 4, [5] * 3) == 12
+
+
+class TestBifocalEstimate:
+    def test_skewed_join_estimate_within_factor(self):
+        rng = np.random.default_rng(0)
+        # one very frequent value (skew) plus uniform noise
+        left = np.concatenate([np.full(2000, 7), rng.integers(100, 5000, size=8000)])
+        right = np.concatenate([np.full(1500, 7), rng.integers(100, 5000, size=8500)])
+        true_size = exact_equi_join_size(left.tolist(), right.tolist())
+        estimates = [
+            bifocal_join_size_estimate(left, right, sample_size=1500, random_state=seed)[0]
+            for seed in range(10)
+        ]
+        assert np.mean(estimates) == pytest.approx(true_size, rel=0.5)
+
+    def test_uniform_join_estimate(self):
+        rng = np.random.default_rng(3)
+        left = rng.integers(0, 200, size=4000)
+        right = rng.integers(0, 200, size=4000)
+        true_size = exact_equi_join_size(left.tolist(), right.tolist())
+        estimate, details = bifocal_join_size_estimate(
+            left, right, sample_size=1200, random_state=1
+        )
+        assert estimate == pytest.approx(true_size, rel=0.6)
+        assert details["sample_size"] == 1200
+
+    def test_details_breakdown_sums_to_estimate(self):
+        rng = np.random.default_rng(5)
+        left = rng.integers(0, 50, size=2000)
+        right = rng.integers(0, 50, size=2000)
+        estimate, details = bifocal_join_size_estimate(left, right, random_state=2)
+        parts = (
+            details["dense_dense"]
+            + details["dense_sparse"]
+            + details["sparse_dense"]
+            + details["sparse_sparse"]
+        )
+        assert estimate == pytest.approx(parts)
+
+    def test_empty_relation_raises(self):
+        with pytest.raises(ValidationError):
+            bifocal_join_size_estimate([], [1, 2, 3])
+
+    def test_deterministic_given_seed(self):
+        left = list(range(100)) * 3
+        right = list(range(50)) * 4
+        a = bifocal_join_size_estimate(left, right, random_state=11)[0]
+        b = bifocal_join_size_estimate(left, right, random_state=11)[0]
+        assert a == b

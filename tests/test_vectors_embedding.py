@@ -1,0 +1,65 @@
+"""Tests for the vector → multiset embedding (§1 of the paper)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.vectors import VectorCollection, collection_to_multisets, vector_to_multiset
+from repro.vectors.embedding import embedding_size, multiset_jaccard
+
+
+class TestVectorToMultiset:
+    def test_integer_values_repeat_elements(self):
+        multiset = vector_to_multiset({0: 2.0, 3: 1.0})
+        assert set(multiset) == {(0, 0), (0, 1), (3, 0)}
+
+    def test_rounding_of_fractional_values(self):
+        multiset = vector_to_multiset({1: 1.4, 2: 1.6})
+        assert (1, 0) in multiset and (1, 1) not in multiset
+        assert (2, 0) in multiset and (2, 1) in multiset
+
+    def test_scale_increases_resolution(self):
+        coarse = vector_to_multiset({0: 0.4})
+        fine = vector_to_multiset({0: 0.4}, scale=10.0)
+        assert len(coarse) == 0
+        assert len(fine) == 4
+
+    def test_zero_values_produce_no_elements(self):
+        assert vector_to_multiset({0: 0.0, 1: 0.2}) == {}
+
+    def test_negative_scale_raises(self):
+        with pytest.raises(ValidationError):
+            vector_to_multiset({0: 1.0}, scale=0.0)
+
+    def test_negative_values_use_magnitude(self):
+        multiset = vector_to_multiset({0: -2.0})
+        assert len(multiset) == 2
+
+
+class TestCollectionEmbedding:
+    def test_binary_collection_round_trip(self, binary_collection):
+        multisets = collection_to_multisets(binary_collection)
+        assert len(multisets) == binary_collection.size
+        # binary vectors embed to one element per non-zero dimension
+        assert len(multisets[0]) == binary_collection.nnz_per_row[0]
+
+    def test_embedding_preserves_jaccard_for_binary_vectors(self, binary_collection):
+        multisets = collection_to_multisets(binary_collection)
+        # records 0 and 1 are identical token sets
+        assert multiset_jaccard(multisets[0], multisets[1]) == pytest.approx(1.0)
+        # records 0 and 2 share 3 of 5 distinct tokens
+        assert multiset_jaccard(multisets[0], multisets[2]) == pytest.approx(3.0 / 5.0)
+
+    def test_embedding_size_counts_elements(self):
+        collection = VectorCollection.from_dense([[2.0, 1.0], [0.0, 3.0]])
+        multisets = collection_to_multisets(collection)
+        assert embedding_size(multisets) == 6
+
+    def test_embedding_blowup_for_weighted_vectors(self):
+        """TF-IDF-style weights blow up the embedded set size (the paper's
+        motivation for working directly with vectors)."""
+        weighted = VectorCollection.from_dense([[7.3, 4.9, 12.1]])
+        multisets = collection_to_multisets(weighted)
+        assert embedding_size(multisets) == 7 + 5 + 12
+
+    def test_empty_vs_empty_jaccard(self):
+        assert multiset_jaccard({}, {}) == 0.0

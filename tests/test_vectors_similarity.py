@@ -1,0 +1,177 @@
+"""Tests for similarity measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, ValidationError
+from repro.vectors import (
+    VectorCollection,
+    cosine_pairs,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    jaccard_similarity,
+)
+from repro.vectors.similarity import (
+    angular_collision_to_cosine,
+    cosine_to_angular_collision,
+    dot_pairs,
+    jaccard_pairs,
+    overlap_similarity,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity([1.0, 0.0], [-1.0, 0.0]) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        assert cosine_similarity([1.0, 2.0], [10.0, 20.0]) == pytest.approx(1.0)
+
+    def test_known_angle(self):
+        assert cosine_similarity([1.0, 0.0], [1.0, 1.0]) == pytest.approx(
+            1.0 / math.sqrt(2.0)
+        )
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity([0.0, 0.0], [1.0, 2.0]) == 0.0
+
+    def test_sparse_rows(self, tiny_collection):
+        value = cosine_similarity(tiny_collection.row(0), tiny_collection.row(2))
+        assert value == pytest.approx(1.0 / math.sqrt(2.0))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            cosine_similarity([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestCosinePairs:
+    def test_matches_scalar_function(self, tiny_collection):
+        left = [0, 0, 2, 4]
+        right = [1, 3, 3, 5]
+        batch = cosine_pairs(tiny_collection, left, right)
+        for value, (i, j) in zip(batch, zip(left, right)):
+            expected = cosine_similarity(
+                tiny_collection.row_dense(i), tiny_collection.row_dense(j)
+            )
+            assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_empty_input(self, tiny_collection):
+        assert cosine_pairs(tiny_collection, [], []).shape == (0,)
+
+    def test_mismatched_lengths_raise(self, tiny_collection):
+        with pytest.raises(ValidationError):
+            cosine_pairs(tiny_collection, [0, 1], [2])
+
+    def test_cross_collection(self, tiny_collection):
+        other = VectorCollection.from_dense([[1.0, 0.0, 0.0, 0.0]])
+        values = cosine_pairs(tiny_collection, [0, 3], [0, 0], other=other)
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(0.0)
+
+    def test_values_clipped_to_unit_interval(self, small_collection):
+        left = np.arange(50)
+        right = np.arange(50, 100)
+        values = cosine_pairs(small_collection, left, right)
+        assert np.all(values <= 1.0) and np.all(values >= -1.0)
+
+
+class TestDotPairs:
+    def test_dot_products(self, tiny_collection):
+        values = dot_pairs(tiny_collection, [0, 2], [2, 4])
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(0.0)
+
+    def test_mismatched_lengths_raise(self, tiny_collection):
+        with pytest.raises(ValidationError):
+            dot_pairs(tiny_collection, [0], [1, 2])
+
+
+class TestSimilarityMatrix:
+    def test_diagonal_is_one(self, tiny_collection):
+        matrix = cosine_similarity_matrix(tiny_collection)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(6), atol=1e-12)
+
+    def test_symmetry(self, tiny_collection):
+        matrix = cosine_similarity_matrix(tiny_collection)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_matches_pairwise(self, tiny_collection):
+        matrix = cosine_similarity_matrix(tiny_collection)
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[0, 3] == pytest.approx(0.0)
+
+    def test_sparse_output(self, tiny_collection):
+        matrix = cosine_similarity_matrix(tiny_collection, dense=False)
+        assert matrix.shape == (6, 6)
+
+    def test_dimension_mismatch(self, tiny_collection):
+        other = VectorCollection.from_dense([[1.0, 2.0]])
+        with pytest.raises(DimensionMismatchError):
+            cosine_similarity_matrix(tiny_collection, other)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1, 2}, {3, 4}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard_similarity(set(), set()) == 0.0
+
+    def test_accepts_iterables(self):
+        assert jaccard_similarity([1, 1, 2], (2, 3)) == pytest.approx(1.0 / 3.0)
+
+    def test_jaccard_pairs_on_supports(self, binary_collection):
+        values = jaccard_pairs(binary_collection, [0, 0], [1, 2])
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(3.0 / 5.0)
+
+    def test_jaccard_pairs_length_mismatch(self, binary_collection):
+        with pytest.raises(ValidationError):
+            jaccard_pairs(binary_collection, [0], [1, 2])
+
+
+class TestOverlap:
+    def test_overlap_full_containment(self):
+        assert overlap_similarity({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_overlap_empty(self):
+        assert overlap_similarity(set(), {1}) == 0.0
+
+
+class TestAngularTransform:
+    def test_identical_maps_to_one(self):
+        assert cosine_to_angular_collision(1.0) == pytest.approx(1.0)
+
+    def test_orthogonal_maps_to_half(self):
+        assert cosine_to_angular_collision(0.0) == pytest.approx(0.5)
+
+    def test_opposite_maps_to_zero(self):
+        assert cosine_to_angular_collision(-1.0) == pytest.approx(0.0)
+
+    def test_monotone(self):
+        values = cosine_to_angular_collision(np.linspace(-1, 1, 21))
+        assert np.all(np.diff(values) > 0)
+
+    def test_round_trip(self):
+        original = np.linspace(-0.99, 0.99, 17)
+        recovered = angular_collision_to_cosine(cosine_to_angular_collision(original))
+        np.testing.assert_allclose(recovered, original, atol=1e-10)
+
+    def test_scalar_round_trip(self):
+        assert angular_collision_to_cosine(
+            cosine_to_angular_collision(0.8)
+        ) == pytest.approx(0.8)

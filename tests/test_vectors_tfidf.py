@@ -1,0 +1,145 @@
+"""Tests for the TF-IDF pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.vectors import TfidfVectorizer, Tokenizer, Vocabulary
+from repro.vectors.similarity import cosine_similarity
+
+
+class TestTokenizer:
+    def test_basic_tokenization(self):
+        assert Tokenizer().tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_preserves_case_when_disabled(self):
+        assert Tokenizer(lowercase=False).tokenize("Hello World") == ["Hello", "World"]
+
+    def test_min_token_length(self):
+        tokens = Tokenizer(min_token_length=3).tokenize("a an the quick fox")
+        assert tokens == ["the", "quick", "fox"]
+
+    def test_numbers_and_underscores_kept(self):
+        assert Tokenizer().tokenize("vldb_2011 rocks") == ["vldb_2011", "rocks"]
+
+    def test_callable_interface(self):
+        assert Tokenizer()("one two") == ["one", "two"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValidationError):
+            Tokenizer(min_token_length=0)
+
+    def test_empty_string(self):
+        assert Tokenizer().tokenize("") == []
+
+
+class TestVocabulary:
+    def test_add_assigns_sequential_ids(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.add("a") == 0
+        assert vocabulary.add("b") == 1
+        assert vocabulary.add("a") == 0
+
+    def test_contains_and_len(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("x")
+        assert "x" in vocabulary
+        assert "y" not in vocabulary
+        assert len(vocabulary) == 1
+
+    def test_get_missing_returns_none(self):
+        assert Vocabulary().get("missing") is None
+
+    def test_from_documents(self):
+        vocabulary = Vocabulary.from_documents([["a", "b"], ["b", "c"]])
+        assert vocabulary.size == 3
+
+    def test_id_to_token_inverse(self):
+        vocabulary = Vocabulary.from_documents([["a", "b"]])
+        inverse = vocabulary.id_to_token()
+        assert inverse[vocabulary.get("a")] == "a"
+
+
+class TestTfidfVectorizer:
+    @pytest.fixture
+    def corpus(self):
+        return [
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "cats and dogs are animals",
+        ]
+
+    def test_fit_transform_shape(self, corpus):
+        collection = TfidfVectorizer().fit_transform(corpus)
+        assert collection.size == 3
+        assert collection.dimension == TfidfVectorizer().fit(corpus).vocabulary.size
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(ValidationError):
+            TfidfVectorizer().transform(["text"])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValidationError):
+            TfidfVectorizer().fit([])
+
+    def test_common_tokens_downweighted(self, corpus):
+        vectorizer = TfidfVectorizer()
+        collection = vectorizer.fit_transform(corpus)
+        the_id = vectorizer.vocabulary.get("the")
+        cat_id = vectorizer.vocabulary.get("cat")
+        row = collection.row_dict(0)
+        # "the" appears twice in doc 0 but in 2/3 documents, "cat" once in 1/3;
+        # the IDF of "cat" must exceed that of "the".
+        assert vectorizer.idf_[cat_id] > vectorizer.idf_[the_id]
+
+    def test_binary_mode(self, corpus):
+        collection = TfidfVectorizer(binary=True, use_idf=False).fit_transform(corpus)
+        assert set(collection.matrix.data.tolist()) == {1.0}
+
+    def test_counts_mode(self, corpus):
+        vectorizer = TfidfVectorizer(use_idf=False)
+        collection = vectorizer.fit_transform(corpus)
+        the_id = vectorizer.vocabulary.get("the")
+        assert collection.row_dict(0)[the_id] == pytest.approx(2.0)
+
+    def test_sublinear_tf(self, corpus):
+        vectorizer = TfidfVectorizer(use_idf=False, sublinear_tf=True)
+        collection = vectorizer.fit_transform(corpus)
+        the_id = vectorizer.vocabulary.get("the")
+        assert collection.row_dict(0)[the_id] == pytest.approx(1.0 + math.log(2.0))
+
+    def test_min_df_filters_rare_tokens(self, corpus):
+        vectorizer = TfidfVectorizer(min_df=2)
+        vectorizer.fit(corpus)
+        assert vectorizer.vocabulary.get("animals") is None
+        assert vectorizer.vocabulary.get("the") is not None
+
+    def test_out_of_vocabulary_tokens_dropped(self, corpus):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(corpus)
+        collection = vectorizer.transform(["completely unseen words"])
+        assert collection.size == 1
+        assert collection.matrix.nnz == 0
+
+    def test_token_list_documents(self):
+        vectorizer = TfidfVectorizer()
+        collection = vectorizer.fit_transform([["a", "b"], ["b", "c"]])
+        assert collection.size == 2
+
+    def test_similar_documents_have_high_cosine(self):
+        corpus = [
+            "locality sensitive hashing for similarity joins",
+            "locality sensitive hashing for similarity join size",
+            "completely unrelated text about cooking pasta recipes",
+        ]
+        collection = TfidfVectorizer().fit_transform(corpus)
+        similar = cosine_similarity(collection.row_dense(0), collection.row_dense(1))
+        dissimilar = cosine_similarity(collection.row_dense(0), collection.row_dense(2))
+        assert similar > 0.6
+        assert dissimilar < 0.1
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValidationError):
+            TfidfVectorizer(min_df=0)
