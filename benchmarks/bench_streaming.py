@@ -1,0 +1,171 @@
+"""E13 — streaming subsystem: incremental maintenance vs full rebuild.
+
+The static pipeline pays a full ``O(n·k)`` index rebuild before it can
+serve an estimate over a changed collection; the streaming subsystem
+applies each insert/delete in ``O(k)`` amortised and keeps the strata
+bookkeeping exact.  This benchmark replays the same update+query
+workload both ways across update:query ratios and reports the speedup
+of the maintenance work (updates for the streaming path vs rebuilds for
+the static path).
+
+Acceptance gate: at a 10:1 update:query ratio, incremental updates must
+be at least 5× cheaper than full rebuilds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from benchmarks._helpers import emit, format_table
+from repro.core import LSHSSEstimator
+from repro.lsh import LSHIndex
+from repro.streaming import MutableLSHIndex, StreamingEstimator
+
+THRESHOLD = 0.7
+NUM_HASHES = 16
+SEED = 101
+# Small per-query sample budgets keep the *query* cost identical across the
+# two paths, so the measured difference is the maintenance work.
+SAMPLE_SIZE = 256
+RATIOS = ((1, 1), (10, 1), (100, 1))
+NUM_QUERIES = 8
+
+
+def _workload(collection, num_updates: int, rng: np.random.Generator) -> List[Tuple[str, int]]:
+    """An update batch: alternating deletes of live rows and fresh inserts."""
+    operations: List[Tuple[str, int]] = []
+    for step in range(num_updates):
+        row = int(rng.integers(0, collection.size))
+        operations.append(("delete" if step % 2 == 0 else "insert", row))
+    return operations
+
+
+def _run_incremental(collection, updates_per_query: int) -> Tuple[float, float]:
+    """Returns (update_seconds, query_seconds) for the streaming path."""
+    index = MutableLSHIndex.from_collection(
+        collection, num_hashes=NUM_HASHES, random_state=SEED
+    )
+    estimator = StreamingEstimator(
+        index,
+        sample_size_h=SAMPLE_SIZE,
+        sample_size_l=SAMPLE_SIZE,
+        random_state=SEED,
+    )
+    rng = np.random.default_rng(SEED)
+    live = list(range(collection.size))
+    update_seconds = 0.0
+    query_seconds = 0.0
+    for query in range(NUM_QUERIES):
+        operations = _workload(collection, updates_per_query, rng)
+        start = time.perf_counter()
+        for op, row in operations:
+            if op == "delete" and len(live) > 2:
+                index.delete(live.pop(int(rng.integers(0, len(live)))))
+            else:
+                live.append(index.insert(collection.row(row)))
+        update_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        estimator.estimate(THRESHOLD, random_state=query)
+        query_seconds += time.perf_counter() - start
+    return update_seconds, query_seconds
+
+
+def _run_rebuild(collection, updates_per_query: int) -> Tuple[float, float]:
+    """Returns (rebuild_seconds, query_seconds) for the static path.
+
+    The static path tracks the same logical collection; before each query
+    it must rebuild the LSH index over the current rows from scratch.
+    """
+    rng = np.random.default_rng(SEED)
+    mirror = MutableLSHIndex.from_collection(  # cheap row bookkeeping only
+        collection, num_hashes=1, random_state=SEED
+    )
+    live = list(range(collection.size))
+    rebuild_seconds = 0.0
+    query_seconds = 0.0
+    for query in range(NUM_QUERIES):
+        for op, row in _workload(collection, updates_per_query, rng):
+            if op == "delete" and len(live) > 2:
+                mirror.delete(live.pop(int(rng.integers(0, len(live)))))
+            else:
+                live.append(mirror.insert(collection.row(row)))
+        current, _ = mirror.to_collection()
+        start = time.perf_counter()
+        index = LSHIndex(current, num_hashes=NUM_HASHES, random_state=SEED)
+        rebuild_seconds += time.perf_counter() - start
+        estimator = LSHSSEstimator(
+            index.primary_table, sample_size_h=SAMPLE_SIZE, sample_size_l=SAMPLE_SIZE
+        )
+        start = time.perf_counter()
+        estimator.estimate(THRESHOLD, random_state=query)
+        query_seconds += time.perf_counter() - start
+    return rebuild_seconds, query_seconds
+
+
+def test_incremental_vs_rebuild(benchmark, dblp_collection, results_dir):
+    """Maintenance cost across update:query ratios, with the 5× gate at 10:1."""
+
+    def run():
+        rows = []
+        for updates, queries in RATIOS:
+            upd_incremental, qry_incremental = _run_incremental(dblp_collection, updates)
+            upd_rebuild, qry_rebuild = _run_rebuild(dblp_collection, updates)
+            speedup = upd_rebuild / max(upd_incremental, 1e-9)
+            rows.append(
+                [
+                    f"{updates}:{queries}",
+                    upd_incremental * 1000.0,
+                    upd_rebuild * 1000.0,
+                    speedup,
+                    qry_incremental * 1000.0,
+                    qry_rebuild * 1000.0,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = format_table(
+        [
+            "update:query",
+            "incr. updates (ms)",
+            "rebuilds (ms)",
+            "maint. speedup",
+            "incr. queries (ms)",
+            "static queries (ms)",
+        ],
+        rows,
+        float_format="{:.2f}",
+    )
+    emit(
+        "E13_streaming_incremental_vs_rebuild",
+        "Streaming — incremental update cost vs full rebuild "
+        f"(n={dblp_collection.size}, k={NUM_HASHES}, {NUM_QUERIES} queries/ratio)",
+        body,
+        results_dir,
+        benchmark=benchmark,
+        extra_info={f"speedup_{row[0]}": row[3] for row in rows},
+    )
+    speedup_at_10_to_1 = {row[0]: row[3] for row in rows}["10:1"]
+    assert speedup_at_10_to_1 >= 5.0, (
+        f"incremental updates only {speedup_at_10_to_1:.1f}x cheaper than rebuild at 10:1"
+    )
+
+
+def test_streaming_estimates_track_exact_strata(dblp_collection):
+    """Sanity: after churn the streamed strata equal a fresh build's."""
+    index = MutableLSHIndex.from_collection(
+        dblp_collection, num_hashes=NUM_HASHES, random_state=SEED
+    )
+    rng = np.random.default_rng(3)
+    live = list(range(dblp_collection.size))
+    for _ in range(200):
+        if rng.random() < 0.5 and len(live) > 2:
+            index.delete(live.pop(int(rng.integers(0, len(live)))))
+        else:
+            live.append(index.insert(dblp_collection.row(int(rng.integers(0, 500)))))
+    final, _ = index.to_collection()
+    fresh = LSHIndex(final, num_hashes=NUM_HASHES, random_state=SEED)
+    assert index.num_collision_pairs == fresh.primary_table.num_collision_pairs

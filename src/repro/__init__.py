@@ -83,6 +83,15 @@ from repro.evaluation import (
     empirical_stratum_probabilities,
     summarize_trials,
 )
+from repro.streaming import (
+    ChangeLog,
+    Checkpoint,
+    Delete,
+    Insert,
+    MutableLSHIndex,
+    MutableLSHTable,
+    StreamingEstimator,
+)
 
 __version__ = "1.0.0"
 
@@ -145,4 +154,12 @@ __all__ = [
     "empirical_stratum_probabilities",
     "alpha_beta_table",
     "summarize_trials",
+    # streaming
+    "MutableLSHIndex",
+    "MutableLSHTable",
+    "StreamingEstimator",
+    "ChangeLog",
+    "Insert",
+    "Delete",
+    "Checkpoint",
 ]

@@ -6,6 +6,7 @@ without writing code::
     python -m repro estimate --profile dblp --num-vectors 2000 --threshold 0.8
     python -m repro sweep    --profile nyt  --num-vectors 1500 --trials 5
     python -m repro probabilities --profile dblp --num-vectors 2000
+    python -m repro stream --events updates.jsonl --threshold 0.8 --batch-size 50
 
 Sub-commands
 ------------
@@ -17,12 +18,17 @@ Sub-commands
     threshold grid and print the error/variance table.
 ``probabilities``
     Print the Table-1 stratum probabilities for the chosen profile.
+``stream``
+    Replay a JSONL change log (see :mod:`repro.streaming.events` for the
+    format) through a mutable index and print one incremental estimate
+    after every batch of updates and at every checkpoint.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.core import (
@@ -35,7 +41,7 @@ from repro.core import (
     UniformityEstimator,
 )
 from repro.datasets import make_dblp_like, make_nyt_like, make_pubmed_like
-from repro.errors import ValidationError
+from repro.errors import ReproError, ValidationError
 from repro.evaluation import ExperimentRunner, empirical_stratum_probabilities
 from repro.evaluation.report import format_table, series_table
 from repro.join.histogram import SimilarityHistogram
@@ -98,6 +104,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(probabilities)
     probabilities.add_argument("--thresholds", type=float, nargs="+",
                                default=[0.1, 0.3, 0.5, 0.7, 0.9])
+
+    stream = subparsers.add_parser(
+        "stream", help="incremental estimates over a JSONL change log"
+    )
+    stream.add_argument("--events", required=True,
+                        help="path to a JSONL change log (insert/delete/checkpoint events)")
+    stream.add_argument("--threshold", type=float, default=0.8,
+                        help="similarity threshold τ (default: 0.8)")
+    stream.add_argument("--dimension", type=int, default=None,
+                        help="vector dimensionality; inferred from the first dense "
+                             "insert when omitted")
+    stream.add_argument("--batch-size", type=int, default=100,
+                        help="emit an estimate after this many insert/delete events "
+                             "(default: 100); checkpoints always emit")
+    stream.add_argument("--mode", choices=("auto", "exact", "reservoir"), default="auto",
+                        help="estimation path: repaired reservoirs (auto/reservoir) "
+                             "or fresh stratified sampling (exact)")
+    stream.add_argument("--staleness-budget", type=float, default=0.25,
+                        help="reservoir staleness fraction triggering partial "
+                             "resampling (default: 0.25)")
+    stream.add_argument("--num-hashes", type=int, default=20,
+                        help="hash functions per LSH table, k (default: 20)")
+    stream.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
     return parser
 
 
@@ -181,6 +210,77 @@ def _command_probabilities(args: argparse.Namespace) -> str:
     )
 
 
+def _command_stream(args: argparse.Namespace) -> str:
+    from repro.streaming import ChangeLog, Checkpoint, Delete, Insert, MutableLSHIndex, StreamingEstimator
+
+    if args.batch_size < 1:
+        raise ValidationError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if not Path(args.events).is_file():
+        raise ValidationError(f"event log not found: {args.events}")
+    log = ChangeLog.from_jsonl(args.events)
+    dimension = args.dimension
+    if dimension is None:
+        for event in log:
+            if isinstance(event, Insert) and not hasattr(event.vector, "items"):
+                dimension = len(event.vector)
+                break
+        else:
+            raise ValidationError(
+                "--dimension is required when the log has no dense insert to infer it from"
+            )
+    index = MutableLSHIndex(
+        dimension, num_hashes=args.num_hashes, random_state=args.seed + 1
+    )
+    estimator = StreamingEstimator(
+        index, staleness_budget=args.staleness_budget, random_state=args.seed + 2
+    )
+    rng_seed = args.seed
+
+    rows = []
+    inserts = deletes = pending = 0
+
+    def emit_row(event_number: int, label: str) -> None:
+        estimate = estimator.estimate(args.threshold, random_state=rng_seed + event_number, mode=args.mode)
+        rows.append(
+            [
+                event_number,
+                label,
+                index.size,
+                index.num_collision_pairs,
+                index.num_non_collision_pairs,
+                estimate.value,
+            ]
+        )
+
+    for event_number, event in enumerate(log, 1):
+        if isinstance(event, Insert):
+            index.insert(event.vector)
+            inserts += 1
+            pending += 1
+        elif isinstance(event, Delete):
+            index.delete(event.vector_id)
+            deletes += 1
+            pending += 1
+        elif isinstance(event, Checkpoint):
+            emit_row(event_number, event.label or "checkpoint")
+            pending = 0
+        if pending >= args.batch_size:
+            emit_row(event_number, f"batch of {pending}")
+            pending = 0
+    if pending:
+        emit_row(len(log), f"final batch of {pending}")
+    summary = (
+        f"Streaming estimates — {args.events}: {inserts} inserts, {deletes} deletes, "
+        f"τ={args.threshold}, k={args.num_hashes}, mode={args.mode}"
+    )
+    return format_table(
+        ["event", "trigger", "n", "N_H", "N_L", f"estimate J(τ={args.threshold})"],
+        rows,
+        float_format="{:.1f}",
+        title=summary,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -190,9 +290,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_estimate(args)
         elif args.command == "sweep":
             output = _command_sweep(args)
+        elif args.command == "stream":
+            output = _command_stream(args)
         else:
             output = _command_probabilities(args)
-    except ValidationError as error:
+    except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(output)

@@ -13,6 +13,11 @@ extended with a per-bucket count (§4.1.1).  This subpackage provides:
   weighted bucket-pair sampling (the SampleH primitive).
 * :mod:`~repro.lsh.index` — an index of ``ℓ`` tables plus the
   virtual-bucket view used by the multi-table extensions (§B.2.1).
+
+The table and index here are build-once; their mutable counterparts —
+sharing the per-family :meth:`~repro.lsh.families.LSHFamily.hash_matrix`
+signature path so incremental and batch hashing agree bit-for-bit — live
+in :mod:`repro.streaming`.
 """
 
 from repro.lsh.families import (

@@ -17,15 +17,22 @@ Each family knows how to hash an entire :class:`VectorCollection` into an
 ``(n, k)`` integer signature matrix, and exposes the collision-probability
 curve ``P(h(u)=h(v))`` as a function of the underlying similarity, which
 the analysis module uses for the f(s) = s^k reasoning of Figure 1.
+
+Hashing is implemented once per family over a raw CSR matrix
+(:meth:`LSHFamily.hash_matrix`); the batch path
+(:meth:`LSHFamily.hash_collection`) and the streaming per-vector path
+(:class:`repro.streaming.MutableLSHIndex`) both delegate to it, so a
+vector inserted incrementally receives exactly the signature it would
+have received in a build-once batch hash.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
-from scipy import stats
+from scipy import sparse, stats
 
 from repro.errors import ValidationError
 from repro.rng import RandomState, ensure_rng
@@ -65,38 +72,64 @@ class LSHFamily(abc.ABC):
         """Draw the random parameters of the ``k`` hash functions."""
 
     @abc.abstractmethod
-    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
-        """Return the ``(n, k)`` integer signature matrix for ``collection``."""
+    def _hash_matrix(self, matrix: sparse.csr_matrix) -> np.ndarray:
+        """Return the ``(rows, k)`` integer signature matrix for a CSR matrix."""
 
     @abc.abstractmethod
     def collision_probability(self, similarity: np.ndarray) -> np.ndarray:
         """Per-hash collision probability as a function of the native similarity."""
 
     # ------------------------------------------------------------------
-    def hash_collection(self, collection: VectorCollection) -> np.ndarray:
-        """Hash every vector of ``collection``; returns an ``(n, k)`` int array.
+    def ensure_initialised(self, dimension: int) -> None:
+        """Bind the family to ``dimension``, drawing parameters on first use.
 
-        The family lazily initialises its random parameters for the
-        collection's dimensionality on first use and then requires every
-        subsequent collection to share that dimensionality, so the same
-        ``g`` can hash both sides of a general (non-self) join.
+        The family lazily initialises its random parameters for the first
+        dimensionality it sees and then requires every subsequent input to
+        share that dimensionality, so the same ``g`` can hash both sides
+        of a general (non-self) join, or a stream of vectors arriving one
+        at a time.
         """
+        if dimension < 1:
+            raise ValidationError(f"dimension must be >= 1, got {dimension}")
         if self._initialised_dimension is None:
-            self._initialise(collection.dimension)
-            self._initialised_dimension = collection.dimension
-        elif self._initialised_dimension != collection.dimension:
+            self._initialise(int(dimension))
+            self._initialised_dimension = int(dimension)
+        elif self._initialised_dimension != dimension:
             raise ValidationError(
                 "this family was initialised for dimension "
-                f"{self._initialised_dimension}, got a collection of dimension "
-                f"{collection.dimension}"
+                f"{self._initialised_dimension}, got input of dimension "
+                f"{dimension}"
             )
-        signatures = self._hash_collection(collection)
-        if signatures.shape != (collection.size, self.num_hashes):
+
+    def hash_matrix(self, matrix: Union[sparse.spmatrix, np.ndarray]) -> np.ndarray:
+        """Hash the rows of a raw ``(rows, d)`` matrix into signatures.
+
+        This is the single implementation point shared by the batch path
+        (:meth:`hash_collection`) and the streaming per-vector path
+        (:class:`repro.streaming.MutableLSHIndex`), guaranteeing that
+        incremental and build-once signatures are identical.
+        """
+        if not sparse.issparse(matrix):
+            matrix = sparse.csr_matrix(np.atleast_2d(np.asarray(matrix, dtype=np.float64)))
+        csr = matrix.tocsr()
+        if csr.data.size and not np.all(csr.data):
+            # explicitly stored zeros would leak into support-based families
+            # (MinHash); canonicalise on a copy so the caller's matrix is
+            # never mutated
+            csr = csr.copy()
+            csr.eliminate_zeros()
+        self.ensure_initialised(csr.shape[1])
+        signatures = self._hash_matrix(csr)
+        if signatures.shape != (csr.shape[0], self.num_hashes):
             raise ValidationError(
                 "family produced a signature matrix of shape "
-                f"{signatures.shape}, expected {(collection.size, self.num_hashes)}"
+                f"{signatures.shape}, expected {(csr.shape[0], self.num_hashes)}"
             )
         return signatures
+
+    def hash_collection(self, collection: VectorCollection) -> np.ndarray:
+        """Hash every vector of ``collection``; returns an ``(n, k)`` int array."""
+        return self.hash_matrix(collection.matrix)
 
     def bucket_collision_probability(self, similarity: np.ndarray) -> np.ndarray:
         """Probability that ``g(u) = g(v)``, i.e. all ``k`` hashes collide."""
@@ -123,10 +156,9 @@ class SignRandomProjectionFamily(LSHFamily):
     def _initialise(self, dimension: int) -> None:
         self._projections = self._rng.standard_normal((dimension, self.num_hashes))
 
-    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+    def _hash_matrix(self, matrix: sparse.csr_matrix) -> np.ndarray:
         assert self._projections is not None
-        projected = collection.matrix @ self._projections
-        projected = np.asarray(projected)
+        projected = np.asarray(matrix @ self._projections)
         return (projected > 0.0).astype(np.int64)
 
     def collision_probability(self, similarity: np.ndarray) -> np.ndarray:
@@ -158,15 +190,17 @@ class MinHashFamily(LSHFamily):
             0, _MERSENNE_PRIME, size=self.num_hashes, dtype=np.int64
         )
 
-    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+    def _hash_matrix(self, matrix: sparse.csr_matrix) -> np.ndarray:
         assert self._coefficients_a is not None and self._coefficients_b is not None
+        num_rows = matrix.shape[0]
         signatures = np.full(
-            (collection.size, self.num_hashes), _MERSENNE_PRIME, dtype=np.int64
+            (num_rows, self.num_hashes), _MERSENNE_PRIME, dtype=np.int64
         )
         coefficients_a = self._coefficients_a.astype(object)
         coefficients_b = self._coefficients_b.astype(object)
-        for row in range(collection.size):
-            support = collection.row_support(row)
+        indptr, indices = matrix.indptr, matrix.indices
+        for row in range(num_rows):
+            support = indices[indptr[row]:indptr[row + 1]]
             if support.size == 0:
                 continue
             # object dtype avoids int64 overflow of a * x before the modulus.
@@ -209,9 +243,9 @@ class PStableL2Family(LSHFamily):
         self._projections = self._rng.standard_normal((dimension, self.num_hashes))
         self._offsets = self._rng.uniform(0.0, self.bucket_width, size=self.num_hashes)
 
-    def _hash_collection(self, collection: VectorCollection) -> np.ndarray:
+    def _hash_matrix(self, matrix: sparse.csr_matrix) -> np.ndarray:
         assert self._projections is not None and self._offsets is not None
-        projected = np.asarray(collection.matrix @ self._projections)
+        projected = np.asarray(matrix @ self._projections)
         return np.floor((projected + self._offsets[None, :]) / self.bucket_width).astype(np.int64)
 
     def collision_probability(self, distance: np.ndarray) -> np.ndarray:

@@ -147,21 +147,22 @@ class LSHIndex:
                 f"virtual bucket enumeration would touch {budget} pairs "
                 f"(> max_pairs={max_pairs}); increase k or max_pairs"
             )
-        seen = set()
-        lefts: List[int] = []
-        rights: List[int] = []
+        n = self.collection.size
+        # Each ordered pair (u < v) packs into the int64 key u * n + v,
+        # which is collision-free and overflow-safe for n < ~3e9; a single
+        # np.unique over the concatenated keys replaces the former Python
+        # set of tuples.
+        keys: List[np.ndarray] = []
         for table in self.tables:
-            for u, v in table.iter_collision_pairs():
-                key = (u, v) if u < v else (v, u)
-                if key in seen:
-                    continue
-                seen.add(key)
-                lefts.append(key[0])
-                rights.append(key[1])
-        return (
-            np.asarray(lefts, dtype=np.int64),
-            np.asarray(rights, dtype=np.int64),
-        )
+            left, right = table.collision_pairs_arrays()
+            low = np.minimum(left, right)
+            high = np.maximum(left, right)
+            keys.append(low * np.int64(n) + high)
+        if not keys:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        unique_keys = np.unique(np.concatenate(keys))
+        return unique_keys // n, unique_keys % n
 
     def memory_estimate_bytes(self) -> int:
         """Total estimated size across all tables."""

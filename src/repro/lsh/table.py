@@ -184,18 +184,14 @@ class LSHTable:
                 "stratum H is empty: every LSH bucket contains a single vector"
             )
         rng = ensure_rng(random_state)
-        eligible = np.flatnonzero(self._bucket_pair_counts > 0)
-        weights = self._bucket_pair_counts[eligible].astype(np.float64)
-        weights /= weights.sum()
-        chosen = rng.choice(eligible, size=sample_size, p=weights)
-        sizes = self._bucket_counts[chosen]
-        first_position = (rng.random(sample_size) * sizes).astype(np.int64)
-        second_position = (rng.random(sample_size) * (sizes - 1)).astype(np.int64)
-        second_position = second_position + (second_position >= first_position)
-        starts = self._member_offsets[chosen]
-        left = self._members_flat[starts + first_position]
-        right = self._members_flat[starts + second_position]
-        return left.astype(np.int64), right.astype(np.int64)
+        return sample_weighted_bucket_pairs(
+            self._bucket_counts,
+            self._member_offsets,
+            self._members_flat,
+            self._bucket_pair_counts,
+            sample_size,
+            rng,
+        )
 
     def sample_non_collision_pairs(
         self, sample_size: int, *, random_state: RandomState = None, max_attempts: int = 64
@@ -257,6 +253,36 @@ class LSHTable:
                 for j in range(i + 1, size):
                     yield int(members[i]), int(members[j])
 
+    def collision_pairs_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Enumerate every co-bucket pair as ``(left, right)`` index arrays.
+
+        Vectorised counterpart of :meth:`iter_collision_pairs`.  Buckets
+        are processed grouped by size: all buckets of size ``s`` share one
+        ``np.triu_indices(s, 1)`` template applied to a ``(buckets, s)``
+        member matrix, so the Python-level work is one iteration per
+        *distinct* bucket size (a handful) rather than per bucket or per
+        pair.  Members are stored in increasing vector-id order, hence
+        ``left < right`` for every returned pair.  The total output length
+        is exactly :attr:`num_collision_pairs`.
+        """
+        eligible = np.flatnonzero(self._bucket_counts >= 2)
+        if eligible.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        sizes = self._bucket_counts[eligible]
+        lefts: list = []
+        rights: list = []
+        for size in np.unique(sizes):
+            starts = self._member_offsets[eligible[sizes == size]]
+            members = self._members_flat[starts[:, None] + np.arange(size)[None, :]]
+            i, j = np.triu_indices(int(size), k=1)
+            lefts.append(members[:, i].ravel())
+            rights.append(members[:, j].ravel())
+        return (
+            np.concatenate(lefts).astype(np.int64),
+            np.concatenate(rights).astype(np.int64),
+        )
+
     def memory_estimate_bytes(self) -> int:
         """Rough size of the table (§6.3's table-size-vs-k experiment).
 
@@ -275,6 +301,37 @@ class LSHTable:
             f"LSHTable(n={self.num_vectors}, k={self.num_hashes}, "
             f"buckets={self.num_buckets}, NH={self.num_collision_pairs})"
         )
+
+
+def sample_weighted_bucket_pairs(
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    members_flat: np.ndarray,
+    pair_counts: np.ndarray,
+    sample_size: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform pairs from stratum H given a CSR-style bucket layout.
+
+    The SampleH core shared by the static :class:`LSHTable` and the
+    streaming :class:`repro.streaming.MutableLSHTable`: a bucket is
+    chosen with probability proportional to ``C(b_j, 2)`` and two
+    distinct members are drawn uniformly, which yields a uniform sample
+    (with replacement) of all co-bucket pairs.  The caller guarantees
+    ``pair_counts.sum() > 0``.
+    """
+    eligible = np.flatnonzero(pair_counts > 0)
+    weights = pair_counts[eligible].astype(np.float64)
+    weights /= weights.sum()
+    chosen = rng.choice(eligible, size=sample_size, p=weights)
+    sizes = counts[chosen]
+    first_position = (rng.random(sample_size) * sizes).astype(np.int64)
+    second_position = (rng.random(sample_size) * (sizes - 1)).astype(np.int64)
+    second_position = second_position + (second_position >= first_position)
+    starts = offsets[chosen]
+    left = members_flat[starts + first_position]
+    right = members_flat[starts + second_position]
+    return left.astype(np.int64), right.astype(np.int64)
 
 
 def sample_uniform_pairs(
@@ -296,4 +353,4 @@ def sample_uniform_pairs(
     return left.astype(np.int64), right.astype(np.int64)
 
 
-__all__ = ["LSHTable", "sample_uniform_pairs"]
+__all__ = ["LSHTable", "sample_uniform_pairs", "sample_weighted_bucket_pairs"]

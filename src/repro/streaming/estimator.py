@@ -1,0 +1,468 @@
+"""Incremental LSH-SS estimation over a :class:`MutableLSHIndex`.
+
+:class:`StreamingEstimator` keeps the two LSH strata of Algorithm 1
+serveable while the collection mutates:
+
+* the strata **sizes** (``N_H`` / ``N_L``) come straight from the mutable
+  index's exact bookkeeping, so they always equal what a fresh batch
+  build over the current collection would report;
+* per stratum, a **pair reservoir** holds uniform sample pairs that are
+  *repaired* on mutation instead of redrawn: a delete evicts the pairs
+  touching the deleted vector (a surviving pair never changes stratum,
+  because a vector's signature is immutable), while an insert adds pairs
+  the reservoir has never had a chance to contain, which is tracked as
+  *staleness*.
+
+Staleness-budget semantics
+--------------------------
+``staleness`` of a reservoir is the fraction of the current stratum made
+of pairs created after the reservoir's last (partial) refresh — exactly
+the probability mass a reservoir-based sample cannot reach.  Whenever
+``staleness > staleness_budget``, or evictions have emptied more than a
+``staleness_budget`` fraction of the reservoir's slots, the estimator
+performs a **partial resample**: it redraws only enough pairs to refill
+the empty slots and to overwrite a staleness-proportional share of the
+old ones, then resets the staleness counter.  The budget therefore caps
+the sampling bias of the amortised path: a budget of ``b`` bounds the
+unreachable probability mass by ``b`` at every query.  ``refresh()``
+redraws everything and is always exact.
+
+Both paths reuse :func:`repro.core.lsh_ss.sample_stratum_h` /
+:func:`~repro.core.lsh_ss.sample_stratum_l` as the estimation kernels;
+they differ only in the pair source handed to the kernels:
+
+* ``mode="exact"`` — sample fresh pairs through the index's SampleH /
+  SampleL primitives (distribution identical to a freshly built
+  :class:`~repro.core.lsh_ss.LSHSSEstimator` on the same collection);
+* ``mode="reservoir"`` — draw (with replacement) from the repaired
+  reservoirs, touching no buckets at query time; raises
+  :class:`~repro.errors.InsufficientSampleError` when a needed
+  reservoir is empty or degraded while its stratum is non-empty;
+* ``mode="auto"`` (default) — the reservoir path, preceded by a repair
+  if mutations since the last query pushed staleness over budget.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.core.lsh_ss import (
+    Dampening,
+    default_answer_threshold,
+    default_sample_size,
+    sample_stratum_h,
+    sample_stratum_l,
+)
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.rng import RandomState, ensure_rng
+from repro.streaming.mutable_index import MutableLSHIndex
+
+_MODES = ("auto", "exact", "reservoir")
+
+
+class _PairReservoir:
+    """A repairable uniform sample of pairs from one stratum.
+
+    A multiset of member ids (``_id_counts``) makes the common case of
+    :meth:`drop_vector` — the deleted vector appears in no reservoir pair
+    — an O(1) lookup instead of a full scan.
+    """
+
+    def __init__(self, target_size: int):
+        self.target_size = int(target_size)
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self._id_counts: Counter = Counter()
+        #: pairs added to the stratum since the last (partial) refresh
+        self.unseen_pairs = 0
+        #: set when the last refill could not sample the stratum (degenerate
+        #: configuration); repairs are then retried at query time only, so a
+        #: mutation never surfaces a sampling error
+        self.degraded = False
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def clear(self) -> None:
+        self.left.clear()
+        self.right.clear()
+        self._id_counts.clear()
+        self.unseen_pairs = 0
+        self.degraded = False
+
+    def set_all(self, left: np.ndarray, right: np.ndarray) -> None:
+        """Replace the whole reservoir and reset staleness."""
+        self.left = [int(u) for u in left]
+        self.right = [int(v) for v in right]
+        self._id_counts = Counter(self.left)
+        self._id_counts.update(self.right)
+        self.unseen_pairs = 0
+
+    def overwrite_slot(self, slot: int, u: int, v: int) -> None:
+        self._discount(self.left[slot])
+        self._discount(self.right[slot])
+        self.left[slot] = u
+        self.right[slot] = v
+        self._id_counts[u] += 1
+        self._id_counts[v] += 1
+
+    def append_pair(self, u: int, v: int) -> None:
+        self.left.append(u)
+        self.right.append(v)
+        self._id_counts[u] += 1
+        self._id_counts[v] += 1
+
+    def _discount(self, vector_id: int) -> None:
+        remaining = self._id_counts[vector_id] - 1
+        if remaining:
+            self._id_counts[vector_id] = remaining
+        else:
+            del self._id_counts[vector_id]
+
+    def drop_vector(self, vector_id: int) -> int:
+        """Evict every pair touching ``vector_id``; returns the eviction count."""
+        if self._id_counts.get(vector_id, 0) == 0:
+            return 0
+        kept = [
+            (u, v)
+            for u, v in zip(self.left, self.right)
+            if u != vector_id and v != vector_id
+        ]
+        dropped = len(self.left) - len(kept)
+        self.left = [u for u, _ in kept]
+        self.right = [v for _, v in kept]
+        self._id_counts = Counter(self.left)
+        self._id_counts.update(self.right)
+        return dropped
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.left, dtype=np.int64),
+            np.asarray(self.right, dtype=np.int64),
+        )
+
+
+class StreamingEstimator(SimilarityJoinSizeEstimator):
+    """LSH-SS served incrementally from a mutable index (see module docs).
+
+    Parameters
+    ----------
+    index:
+        The mutable index to estimate over.  The estimator registers
+        itself as an observer, so plain ``index.insert`` / ``index.delete``
+        calls keep the reservoirs repaired.
+    sample_size_h / sample_size_l / answer_threshold / dampening:
+        As in :class:`~repro.core.lsh_ss.LSHSSEstimator`; the sample-size
+        and ``δ`` defaults track the *current* collection size ``n`` at
+        query time.
+    reservoir_size:
+        Target number of pairs kept per stratum for the amortised path.
+    staleness_budget:
+        Maximum tolerated staleness fraction before a partial resample
+        (see module docstring).  Must be positive; larger values trade
+        accuracy of the amortised path for fewer redraws.
+    random_state:
+        Generator for reservoir maintenance draws (estimates take their
+        own ``random_state`` per call).
+
+    ``details`` keys add ``n``, ``num_collision_pairs``,
+    ``num_non_collision_pairs``, ``mode``, ``staleness_h``,
+    ``staleness_l``, ``reservoir_h``, ``reservoir_l`` to the usual LSH-SS
+    stratum diagnostics.
+    """
+
+    name = "LSH-SS(stream)"
+
+    def __init__(
+        self,
+        index: MutableLSHIndex,
+        *,
+        sample_size_h: Optional[int] = None,
+        sample_size_l: Optional[int] = None,
+        answer_threshold: Optional[int] = None,
+        dampening: Dampening = None,
+        reservoir_size: int = 512,
+        staleness_budget: float = 0.25,
+        random_state: RandomState = None,
+    ):
+        for name, value in (
+            ("sample_size_h (m_H)", sample_size_h),
+            ("sample_size_l (m_L)", sample_size_l),
+            ("answer_threshold (δ)", answer_threshold),
+        ):
+            if value is not None and value < 1:
+                raise ValidationError(f"{name} must be >= 1, got {value}")
+        if reservoir_size < 1:
+            raise ValidationError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        if staleness_budget <= 0.0:
+            raise ValidationError(
+                f"staleness_budget must be positive, got {staleness_budget}"
+            )
+        if dampening is not None and dampening != "auto":
+            if not 0.0 < float(dampening) <= 1.0:
+                raise ValidationError(f"dampening must be in (0, 1] or 'auto', got {dampening}")
+        self.index = index
+        self.sample_size_h = sample_size_h
+        self.sample_size_l = sample_size_l
+        self.answer_threshold = answer_threshold
+        self.dampening: Dampening = dampening
+        self.reservoir_size = int(reservoir_size)
+        self.staleness_budget = float(staleness_budget)
+        self._rng = ensure_rng(random_state)
+        self._reservoir_h = _PairReservoir(self.reservoir_size)
+        self._reservoir_l = _PairReservoir(self.reservoir_size)
+        index.register_observer(self)
+        self.refresh()
+
+    def close(self) -> None:
+        """Detach from the index: no further mutations repair this estimator."""
+        self.index.unregister_observer(self)
+
+    # ------------------------------------------------------------------
+    # estimator interface
+    # ------------------------------------------------------------------
+    @property
+    def total_pairs(self) -> int:
+        return self.index.total_pairs
+
+    @property
+    def staleness_h(self) -> float:
+        """Unreachable fraction of stratum H for the reservoir path."""
+        return self._staleness(self._reservoir_h, self.index.num_collision_pairs)
+
+    @property
+    def staleness_l(self) -> float:
+        """Unreachable fraction of stratum L for the reservoir path."""
+        return self._staleness(self._reservoir_l, self.index.num_non_collision_pairs)
+
+    # ------------------------------------------------------------------
+    # observer hooks (called by MutableLSHIndex)
+    # ------------------------------------------------------------------
+    def on_insert(self, vector_id: int) -> None:
+        """Account for the pairs the new vector added to each stratum."""
+        n = self.index.size
+        if n < 2:
+            return
+        new_h = self.index.primary_table.bucket_size_of(vector_id) - 1
+        self._reservoir_h.unseen_pairs += new_h
+        self._reservoir_l.unseen_pairs += (n - 1) - new_h
+        self._repair_if_stale(during_mutation=True)
+
+    def on_delete(self, vector_id: int) -> None:
+        """Evict reservoir pairs touching the deleted vector."""
+        self._reservoir_h.drop_vector(vector_id)
+        self._reservoir_l.drop_vector(vector_id)
+        self._repair_if_stale(during_mutation=True)
+
+    # ------------------------------------------------------------------
+    # reservoir maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Fully redraw both reservoirs from the current strata."""
+        self._refill(self._reservoir_h, full=True)
+        self._refill(self._reservoir_l, full=True)
+
+    @staticmethod
+    def _staleness(reservoir: _PairReservoir, stratum_size: int) -> float:
+        if stratum_size <= 0:
+            return 0.0
+        return min(1.0, reservoir.unseen_pairs / stratum_size)
+
+    def _occupancy_deficit(self, reservoir: _PairReservoir) -> float:
+        return 1.0 - len(reservoir) / reservoir.target_size
+
+    def _repair_if_stale(self, *, during_mutation: bool = False) -> None:
+        for reservoir, stratum_size in (
+            (self._reservoir_h, self.index.num_collision_pairs),
+            (self._reservoir_l, self.index.num_non_collision_pairs),
+        ):
+            if stratum_size <= 0:
+                reservoir.clear()
+                continue
+            if during_mutation and reservoir.degraded:
+                continue  # don't re-attempt a failing sampler on every update
+            if (
+                self._staleness(reservoir, stratum_size) > self.staleness_budget
+                or self._occupancy_deficit(reservoir) > self.staleness_budget
+            ):
+                self._refill(reservoir)
+
+    def _draw_pairs(self, reservoir: _PairReservoir, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        if reservoir is self._reservoir_h:
+            return self.index.sample_collision_pairs(count, random_state=self._rng)
+        return self.index.sample_non_collision_pairs(count, random_state=self._rng)
+
+    def _refill(self, reservoir: _PairReservoir, *, full: bool = False) -> None:
+        """Partially (or fully) resample a reservoir and reset its staleness.
+
+        The partial variant redraws ``target − occupancy`` pairs to refill
+        evicted slots plus a staleness-proportional share of the occupied
+        slots, overwriting uniformly chosen old entries — so the redraw
+        work is proportional to how much the stratum actually changed.
+        """
+        stratum_size = (
+            self.index.num_collision_pairs
+            if reservoir is self._reservoir_h
+            else self.index.num_non_collision_pairs
+        )
+        if stratum_size <= 0:
+            reservoir.clear()
+            return
+        target = reservoir.target_size
+        if full:
+            try:
+                left, right = self._draw_pairs(reservoir, target)
+            except InsufficientSampleError:
+                reservoir.clear()
+                reservoir.degraded = True
+                return
+            reservoir.set_all(left, right)
+            reservoir.degraded = False
+            return
+        deficit = target - len(reservoir)
+        staleness = self._staleness(reservoir, stratum_size)
+        replace = min(len(reservoir), int(math.ceil(staleness * target)))
+        draw_count = deficit + replace
+        if draw_count == 0:
+            reservoir.unseen_pairs = 0
+            return
+        try:
+            left, right = self._draw_pairs(reservoir, draw_count)
+        except InsufficientSampleError:
+            reservoir.clear()
+            reservoir.degraded = True
+            return
+        reservoir.degraded = False
+        if replace:
+            positions = self._rng.choice(len(reservoir), size=replace, replace=False)
+            for slot, u, v in zip(positions, left[:replace], right[:replace]):
+                reservoir.overwrite_slot(int(slot), int(u), int(v))
+        for u, v in zip(left[replace:], right[replace:]):
+            reservoir.append_pair(int(u), int(v))
+        reservoir.unseen_pairs = 0
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        random_state: RandomState = None,
+        mode: str = "auto",
+    ) -> Estimate:
+        """Estimate the join size at ``threshold`` (see module docs for modes)."""
+        self.validate_threshold(threshold)
+        if mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+        estimate = self._estimate_with_mode(float(threshold), mode, random_state=random_state)
+        estimate.value = float(min(max(estimate.value, 0.0), float(self.total_pairs)))
+        return estimate
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        return self._estimate_with_mode(threshold, "auto", random_state=random_state)
+
+    def _pair_source(self, reservoir: _PairReservoir, mode: str, is_h: bool, stratum_size: int):
+        """Pair source for the kernels: reservoir draws or fresh index sampling.
+
+        Explicit ``mode="reservoir"`` honours its bucket-free contract: an
+        unusable reservoir over a non-empty stratum raises rather than
+        silently sampling buckets; only ``mode="auto"`` falls back.
+        """
+        if mode == "reservoir" or (mode == "auto" and len(reservoir) > 0):
+            left, right = reservoir.arrays()
+            if left.size:
+
+                def from_reservoir(size: int, rng: np.random.Generator):
+                    positions = rng.integers(0, left.size, size=size)
+                    return left[positions], right[positions]
+
+                return from_reservoir, "reservoir"
+            if mode == "reservoir" and stratum_size > 0:
+                stratum = "H" if is_h else "L"
+                raise InsufficientSampleError(
+                    f"stratum-{stratum} reservoir is empty or degraded; call "
+                    "refresh() or estimate with mode='exact'/'auto'"
+                )
+        if is_h:
+            return (
+                lambda size, rng: self.index.sample_collision_pairs(size, random_state=rng),
+                "exact",
+            )
+        return (
+            lambda size, rng: self.index.sample_non_collision_pairs(size, random_state=rng),
+            "exact",
+        )
+
+    def _estimate_with_mode(
+        self, threshold: float, mode: str, *, random_state: RandomState = None
+    ) -> Estimate:
+        if mode == "auto":
+            self._repair_if_stale()
+        rng = ensure_rng(random_state)
+        n = self.index.size
+        num_h = self.index.num_collision_pairs
+        num_l = self.index.num_non_collision_pairs
+        sample_size_h = (
+            self.sample_size_h if self.sample_size_h is not None else default_sample_size(n)
+        )
+        sample_size_l = (
+            self.sample_size_l if self.sample_size_l is not None else default_sample_size(n)
+        )
+        answer_threshold = (
+            self.answer_threshold
+            if self.answer_threshold is not None
+            else default_answer_threshold(n)
+        )
+        source_h, used_h = self._pair_source(self._reservoir_h, mode, is_h=True, stratum_size=num_h)
+        source_l, used_l = self._pair_source(self._reservoir_l, mode, is_h=False, stratum_size=num_l)
+        stratum_h = sample_stratum_h(
+            num_h,
+            source_h,
+            self.index.cosine_pairs,
+            threshold,
+            sample_size_h,
+            rng,
+        )
+        stratum_l = sample_stratum_l(
+            num_l,
+            source_l,
+            self.index.cosine_pairs,
+            threshold,
+            answer_threshold,
+            sample_size_l,
+            self.dampening,
+            rng,
+        )
+        return Estimate(
+            value=stratum_h.estimate + stratum_l.estimate,
+            estimator=self.name,
+            threshold=threshold,
+            details={
+                "stratum_h": stratum_h.estimate,
+                "stratum_l": stratum_l.estimate,
+                "true_in_sample_h": stratum_h.true_in_sample,
+                "true_in_sample_l": stratum_l.true_in_sample,
+                "samples_taken_l": stratum_l.samples_taken,
+                "reached_answer_threshold": stratum_l.reached_answer_threshold,
+                "dampening_used": stratum_l.dampening_used,
+                "n": n,
+                "num_collision_pairs": num_h,
+                "num_non_collision_pairs": num_l,
+                "mode": mode,
+                "source_h": used_h,
+                "source_l": used_l,
+                "staleness_h": self.staleness_h,
+                "staleness_l": self.staleness_l,
+                "reservoir_h": len(self._reservoir_h),
+                "reservoir_l": len(self._reservoir_l),
+            },
+        )
+
+
+__all__ = ["StreamingEstimator"]

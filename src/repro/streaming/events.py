@@ -1,0 +1,191 @@
+"""Event layer of the streaming subsystem: change logs and replay.
+
+A :class:`ChangeLog` is an ordered sequence of three event kinds:
+
+* :class:`Insert` — a new vector enters the collection.  On replay the
+  index assigns it the next sequential id (ids start at 0 and follow
+  insertion order), so a log is self-contained: later :class:`Delete`
+  events refer to those replay-assigned ids.
+* :class:`Delete` — the vector with the given id leaves the collection.
+* :class:`Checkpoint` — a marker at which an estimate should be emitted
+  (by :meth:`ChangeLog.replay` or the ``repro stream`` CLI command).
+
+Logs round-trip through JSON Lines, one event per line::
+
+    {"op": "insert", "vector": {"0": 1.0, "7": 0.5}}
+    {"op": "insert", "dense": [0.0, 1.0, 1.0]}
+    {"op": "delete", "id": 0}
+    {"op": "checkpoint", "label": "after-batch-1"}
+
+Sparse vectors are ``{dimension_index: value}`` mappings (JSON object
+keys are strings and are coerced back to ``int``); dense vectors are
+plain lists.  This is the interchange format consumed by
+``repro stream``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.rng import RandomState, ensure_rng
+
+VectorPayload = Union[Mapping[int, float], Sequence[float]]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """A vector entering the collection (sparse mapping or dense sequence)."""
+
+    vector: VectorPayload
+
+
+@dataclass(frozen=True)
+class Delete:
+    """The vector with replay-assigned id ``vector_id`` leaving the collection."""
+
+    vector_id: int
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A marker at which replay emits an estimate."""
+
+    label: str = ""
+
+
+Event = Union[Insert, Delete, Checkpoint]
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """Serialise one event into its JSONL dictionary form."""
+    if isinstance(event, Insert):
+        vector = event.vector
+        if isinstance(vector, Mapping):
+            return {"op": "insert", "vector": {str(int(k)): float(v) for k, v in vector.items()}}
+        return {"op": "insert", "dense": [float(v) for v in vector]}
+    if isinstance(event, Delete):
+        return {"op": "delete", "id": int(event.vector_id)}
+    if isinstance(event, Checkpoint):
+        return {"op": "checkpoint", "label": event.label}
+    raise ValidationError(f"unknown event type: {type(event).__name__}")
+
+
+def event_from_dict(payload: Mapping[str, object]) -> Event:
+    """Parse one JSONL dictionary back into an event."""
+    op = payload.get("op")
+    if op == "insert":
+        if "vector" in payload:
+            mapping = payload["vector"]
+            if not isinstance(mapping, Mapping):
+                raise ValidationError("insert event 'vector' must be an object")
+            return Insert({int(k): float(v) for k, v in mapping.items()})
+        if "dense" in payload:
+            dense = payload["dense"]
+            if not isinstance(dense, (list, tuple)):
+                raise ValidationError("insert event 'dense' must be a list")
+            return Insert([float(v) for v in dense])
+        raise ValidationError("insert event needs a 'vector' or 'dense' field")
+    if op == "delete":
+        if "id" not in payload:
+            raise ValidationError("delete event needs an 'id' field")
+        return Delete(int(payload["id"]))  # type: ignore[arg-type]
+    if op == "checkpoint":
+        return Checkpoint(str(payload.get("label", "")))
+    raise ValidationError(f"unknown event op {op!r}; expected insert/delete/checkpoint")
+
+
+@dataclass
+class ChangeLog:
+    """An append-only, replayable sequence of collection-change events."""
+
+    events: List[Event] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, item: int) -> Event:
+        return self.events[item]
+
+    @property
+    def num_mutations(self) -> int:
+        """Number of insert/delete events (checkpoints excluded)."""
+        return sum(1 for e in self.events if not isinstance(e, Checkpoint))
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        index,
+        *,
+        estimator=None,
+        threshold: Optional[float] = None,
+        random_state: RandomState = None,
+    ) -> List[Tuple[str, object]]:
+        """Apply every event to ``index`` in order.
+
+        At each :class:`Checkpoint`, when both ``estimator`` and
+        ``threshold`` are given, an estimate is produced and collected as
+        ``(label, Estimate)``.  Insert events receive sequential ids from
+        the index, so a log that was recorded against ids 0, 1, 2, … can
+        be replayed onto a fresh index.
+        """
+        rng = ensure_rng(random_state)
+        results: List[Tuple[str, object]] = []
+        for event in self.events:
+            if isinstance(event, Insert):
+                index.insert(event.vector)
+            elif isinstance(event, Delete):
+                index.delete(event.vector_id)
+            elif isinstance(event, Checkpoint):
+                if estimator is not None and threshold is not None:
+                    results.append((event.label, estimator.estimate(threshold, random_state=rng)))
+            else:  # pragma: no cover - defensive
+                raise ValidationError(f"unknown event type: {type(event).__name__}")
+        return results
+
+    # ------------------------------------------------------------------
+    # JSON Lines round-trip
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write the log to ``path``, one JSON event per line."""
+        lines = [json.dumps(event_to_dict(event)) for event in self.events]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "ChangeLog":
+        """Load a log previously written with :meth:`to_jsonl`."""
+        log = cls()
+        for line_number, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValidationError(f"line {line_number}: invalid JSON ({error})") from error
+            log.append(event_from_dict(payload))
+        return log
+
+
+__all__ = [
+    "Insert",
+    "Delete",
+    "Checkpoint",
+    "Event",
+    "ChangeLog",
+    "event_to_dict",
+    "event_from_dict",
+]

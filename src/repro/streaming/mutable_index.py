@@ -1,0 +1,582 @@
+"""A mutable LSH index: the paper's extended index under insert/delete.
+
+The static :class:`~repro.lsh.table.LSHTable` /
+:class:`~repro.lsh.index.LSHIndex` pair hashes a whole collection once
+and freezes the bucket layout; any change to the collection costs a full
+``O(n·k)`` rebuild.  This module provides the mutable counterpart used by
+the streaming estimators:
+
+* :class:`MutableLSHTable` — one hash table whose buckets support O(1)
+  amortised ``insert`` / ``delete`` while keeping the paper's bucket-count
+  bookkeeping (``N_H = Σ_j C(b_j, 2)``) *exact* at every step.  A vector's
+  signature — computed through the same
+  :meth:`~repro.lsh.families.LSHFamily.hash_matrix` code path as the
+  batch build — never changes, so a surviving pair never migrates between
+  stratum H and stratum L; mutations only add or remove pairs.
+* :class:`MutableLSHIndex` — ``ℓ`` mutable tables over one growing /
+  shrinking set of vectors, with stable sequential ids, per-pair cosine
+  evaluation, and the SampleH / SampleL primitives the LSH-SS kernels
+  need (:class:`repro.streaming.estimator.StreamingEstimator` builds on
+  these).
+
+Because signatures are deterministic given the family seed, replaying a
+:class:`~repro.streaming.events.ChangeLog` through a mutable index yields
+exactly the strata sizes (``N_H`` / ``N_L``) a fresh batch build over the
+final collection would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.lsh.families import LSHFamily
+from repro.lsh.index import resolve_family
+from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
+from repro.rng import RandomState, ensure_rng, spawn
+from repro.vectors.collection import VectorCollection
+
+VectorInput = Union[Mapping[int, float], Sequence[float], np.ndarray, sparse.spmatrix]
+
+
+class MutableLSHTable:
+    """One mutable LSH hash table with exact ``N_H`` bookkeeping.
+
+    Buckets are keyed by the serialised signature; members are kept in
+    swap-pop lists with a position map so ``insert`` and ``delete`` are
+    O(1) dictionary operations.  ``num_collision_pairs`` is maintained
+    incrementally: inserting into a bucket of size ``b`` adds ``b`` new
+    co-bucket pairs, deleting from a bucket of size ``b`` removes
+    ``b − 1``.
+
+    The weighted bucket-pair sampler (SampleH) uses a lazily rebuilt flat
+    CSR-style view of the buckets; the view is invalidated by any
+    mutation and rebuilt in ``O(n)`` on the next sampling call, so bursts
+    of updates between queries pay for one rebuild only.
+    """
+
+    def __init__(self, family: LSHFamily):
+        self.family = family
+        self._key_of: Dict[int, bytes] = {}
+        self._members: Dict[bytes, List[int]] = {}
+        self._position: Dict[int, int] = {}
+        self._num_collision_pairs = 0
+        self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vectors(self) -> int:
+        """Number of live vectors in the table."""
+        return len(self._key_of)
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash functions ``k`` in ``g``."""
+        return self.family.num_hashes
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._members)
+
+    @property
+    def num_collision_pairs(self) -> int:
+        """``N_H = Σ_j C(b_j, 2)``, maintained exactly under mutation."""
+        return self._num_collision_pairs
+
+    @property
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of all non-empty buckets (arbitrary but stable order)."""
+        return np.asarray([len(m) for m in self._members.values()], dtype=np.int64)
+
+    def __contains__(self, vector_id: int) -> bool:
+        return vector_id in self._key_of
+
+    def signature_key(self, vector_id: int) -> bytes:
+        """The serialised signature (bucket key) of a live vector."""
+        try:
+            return self._key_of[vector_id]
+        except KeyError:
+            raise ValidationError(f"vector id {vector_id} is not in the table") from None
+
+    def bucket_size_of(self, vector_id: int) -> int:
+        """Size of the bucket containing ``vector_id``."""
+        return len(self._members[self.signature_key(vector_id)])
+
+    def bucket_members_of(self, vector_id: int) -> np.ndarray:
+        """Ids sharing a bucket with ``vector_id`` (including itself)."""
+        return np.asarray(self._members[self.signature_key(vector_id)], dtype=np.int64)
+
+    def same_bucket(self, u: int, v: int) -> bool:
+        """``True`` iff live vectors ``u`` and ``v`` share a bucket."""
+        return self.signature_key(u) == self.signature_key(v)
+
+    def same_bucket_many(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`same_bucket` over arrays of live vector ids."""
+        key_of = self._key_of
+        return np.fromiter(
+            (key_of[int(u)] == key_of[int(v)] for u, v in zip(left, right)),
+            dtype=bool,
+            count=len(left),
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, vector_id: int, signature: np.ndarray) -> int:
+        """Insert a vector with a precomputed ``(k,)`` signature row.
+
+        Returns the number of co-bucket pairs the insertion created (the
+        size of the target bucket before insertion).
+        """
+        if vector_id in self._key_of:
+            raise ValidationError(f"vector id {vector_id} is already in the table")
+        row = np.ascontiguousarray(np.asarray(signature, dtype=np.int64).ravel())
+        if row.size != self.num_hashes:
+            raise ValidationError(
+                f"signature has {row.size} values, expected k={self.num_hashes}"
+            )
+        key = row.tobytes()
+        bucket = self._members.setdefault(key, [])
+        new_pairs = len(bucket)
+        self._position[vector_id] = len(bucket)
+        bucket.append(vector_id)
+        self._key_of[vector_id] = key
+        self._num_collision_pairs += new_pairs
+        self._frozen = None
+        return new_pairs
+
+    def delete(self, vector_id: int) -> int:
+        """Remove a live vector; returns the number of co-bucket pairs removed."""
+        key = self.signature_key(vector_id)
+        bucket = self._members[key]
+        position = self._position.pop(vector_id)
+        last = bucket.pop()
+        if last != vector_id:
+            bucket[position] = last
+            self._position[last] = position
+        del self._key_of[vector_id]
+        removed_pairs = len(bucket)
+        self._num_collision_pairs -= removed_pairs
+        if not bucket:
+            del self._members[key]
+        self._frozen = None
+        return removed_pairs
+
+    # ------------------------------------------------------------------
+    # sampling (SampleH primitive)
+    # ------------------------------------------------------------------
+    def _frozen_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style (counts, offsets, members_flat, pair_counts) over buckets with ≥ 2 members."""
+        if self._frozen is None:
+            arrays = [
+                np.asarray(members, dtype=np.int64)
+                for members in self._members.values()
+                if len(members) >= 2
+            ]
+            if arrays:
+                counts = np.asarray([a.size for a in arrays], dtype=np.int64)
+                members_flat = np.concatenate(arrays)
+            else:
+                counts = np.zeros(0, dtype=np.int64)
+                members_flat = np.zeros(0, dtype=np.int64)
+            offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            pair_counts = counts * (counts - 1) // 2
+            self._frozen = (counts, offsets, members_flat, pair_counts)
+        return self._frozen
+
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample uniform pairs from stratum H (same scheme as the static table)."""
+        if sample_size < 0:
+            raise ValidationError(f"sample_size must be >= 0, got {sample_size}")
+        if sample_size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if self._num_collision_pairs == 0:
+            raise InsufficientSampleError(
+                "stratum H is empty: every LSH bucket contains a single vector"
+            )
+        rng = ensure_rng(random_state)
+        counts, offsets, members_flat, pair_counts = self._frozen_layout()
+        return sample_weighted_bucket_pairs(
+            counts, offsets, members_flat, pair_counts, sample_size, rng
+        )
+
+    def check_invariants(self) -> None:
+        """Verify the incremental bookkeeping against a from-scratch recount."""
+        sizes = self.bucket_sizes
+        recomputed = int(np.sum(sizes * (sizes - 1) // 2)) if sizes.size else 0
+        if recomputed != self._num_collision_pairs:
+            raise AssertionError(
+                f"N_H bookkeeping drifted: incremental={self._num_collision_pairs}, "
+                f"recount={recomputed}"
+            )
+        if int(sizes.sum()) != len(self._key_of) or len(self._position) != len(self._key_of):
+            raise AssertionError("member bookkeeping drifted")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MutableLSHTable(n={self.num_vectors}, k={self.num_hashes}, "
+            f"buckets={self.num_buckets}, NH={self.num_collision_pairs})"
+        )
+
+
+class MutableLSHIndex:
+    """``ℓ`` mutable LSH tables over a growing / shrinking vector set.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality ``d`` of the vector space; the hash families are
+        bound to it eagerly so inserts can be hashed one at a time.
+    num_hashes:
+        ``k`` — hash functions per table.
+    num_tables:
+        ``ℓ`` — number of tables.
+    family:
+        Family name (``"cosine"`` / ``"jaccard"``) or an
+        :class:`~repro.lsh.families.LSHFamily` subclass.
+    random_state:
+        Seed / generator; the ``ℓ`` tables receive independent child
+        generators exactly as in the static :class:`~repro.lsh.index.LSHIndex`,
+        so the same seed produces the same hash functions.
+
+    Ids are assigned sequentially from 0 in insertion order and are never
+    reused, so a :class:`~repro.streaming.events.ChangeLog` recorded
+    against one index replays identically onto a fresh one.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        num_hashes: int = 20,
+        num_tables: int = 1,
+        family: Union[str, Type[LSHFamily]] = "cosine",
+        random_state: RandomState = None,
+    ):
+        if num_tables < 1:
+            raise ValidationError(f"num_tables (ℓ) must be >= 1, got {num_tables}")
+        if dimension < 1:
+            raise ValidationError(f"dimension must be >= 1, got {dimension}")
+        self.dimension = int(dimension)
+        self.num_hashes = int(num_hashes)
+        self.num_tables = int(num_tables)
+        family_class = resolve_family(family)
+        rng = ensure_rng(random_state)
+        self.tables: List[MutableLSHTable] = []
+        for child in spawn(rng, num_tables):
+            family_instance = family_class(self.num_hashes, random_state=child)
+            family_instance.ensure_initialised(self.dimension)
+            self.tables.append(MutableLSHTable(family_instance))
+        self._rows: Dict[int, sparse.csr_matrix] = {}
+        self._normalized_rows: Dict[int, sparse.csr_matrix] = {}
+        self._live_ids: List[int] = []
+        self._live_position: Dict[int, int] = {}
+        self._next_id = 0
+        self._observers: List[object] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(
+        cls,
+        collection: VectorCollection,
+        *,
+        num_hashes: int = 20,
+        num_tables: int = 1,
+        family: Union[str, Type[LSHFamily]] = "cosine",
+        random_state: RandomState = None,
+    ) -> "MutableLSHIndex":
+        """Bulk-load a collection (ids ``0 … n−1`` in row order)."""
+        index = cls(
+            collection.dimension,
+            num_hashes=num_hashes,
+            num_tables=num_tables,
+            family=family,
+            random_state=random_state,
+        )
+        index.insert_many(collection.matrix)
+        return index
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of live vectors ``n``."""
+        return len(self._live_ids)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, vector_id: int) -> bool:
+        return vector_id in self._live_position
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Live vector ids (arbitrary but stable order)."""
+        return np.asarray(self._live_ids, dtype=np.int64)
+
+    @property
+    def primary_table(self) -> MutableLSHTable:
+        """The first table — used by the single-table estimators."""
+        return self.tables[0]
+
+    @property
+    def total_pairs(self) -> int:
+        """``M = C(n, 2)`` over the live vectors."""
+        n = self.size
+        return n * (n - 1) // 2
+
+    @property
+    def num_collision_pairs(self) -> int:
+        """``N_H`` of the primary table."""
+        return self.primary_table.num_collision_pairs
+
+    @property
+    def num_non_collision_pairs(self) -> int:
+        """``N_L = M − N_H`` of the primary table."""
+        return self.total_pairs - self.num_collision_pairs
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def register_observer(self, observer: object) -> None:
+        """Register an object with ``on_insert(id)`` / ``on_delete(id)`` hooks.
+
+        :class:`~repro.streaming.estimator.StreamingEstimator` uses this
+        to repair its reservoirs as the collection changes.  Observers
+        are notified on every mutation until
+        :meth:`unregister_observer` is called — discard short-lived
+        estimators explicitly (``estimator.close()``), or they keep
+        being repaired forever.
+        """
+        self._observers.append(observer)
+
+    def unregister_observer(self, observer: object) -> None:
+        """Stop notifying ``observer``; a no-op if it is not registered."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _coerce_row(self, vector: VectorInput) -> sparse.csr_matrix:
+        if isinstance(vector, Mapping):
+            indices = np.asarray([int(i) for i in vector.keys()], dtype=np.int64)
+            values = np.asarray([float(v) for v in vector.values()], dtype=np.float64)
+            if indices.size and (indices.min() < 0 or indices.max() >= self.dimension):
+                raise ValidationError(
+                    f"vector indices must lie in [0, {self.dimension}), got "
+                    f"[{indices.min()}, {indices.max()}]"
+                )
+            row = sparse.csr_matrix(
+                (values, (np.zeros(indices.size, dtype=np.int64), indices)),
+                shape=(1, self.dimension),
+                dtype=np.float64,
+            )
+        elif sparse.issparse(vector):
+            # always copy: the row is canonicalised in place and stored, and
+            # must never alias (or mutate) the caller's matrix
+            row = vector.tocsr().astype(np.float64, copy=True)
+        else:
+            dense = np.asarray(vector, dtype=np.float64)
+            if dense.ndim == 1:
+                dense = dense[None, :]
+            row = sparse.csr_matrix(dense)
+        if row.shape[0] != 1 or row.shape[1] != self.dimension:
+            raise ValidationError(
+                f"expected one vector of dimension {self.dimension}, got shape {row.shape}"
+            )
+        if not np.all(np.isfinite(row.data)):
+            raise ValidationError("vector values must be finite (no NaN / inf)")
+        row.eliminate_zeros()
+        row.sort_indices()
+        return row
+
+    def insert(self, vector: VectorInput) -> int:
+        """Insert one vector; returns its newly assigned id."""
+        row = self._coerce_row(vector)
+        vector_id = self._next_id
+        self._next_id += 1
+        self._rows[vector_id] = row
+        self._live_position[vector_id] = len(self._live_ids)
+        self._live_ids.append(vector_id)
+        for table in self.tables:
+            table.insert(vector_id, table.family.hash_matrix(row)[0])
+        for observer in self._observers:
+            observer.on_insert(vector_id)
+        return vector_id
+
+    def insert_many(self, matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection]) -> np.ndarray:
+        """Insert every row of a matrix / collection; returns the assigned ids.
+
+        Signatures are computed in one batch matrix product per table —
+        the same cost profile as a static build — while the bucket
+        insertions remain incremental.
+        """
+        if isinstance(matrix, VectorCollection):
+            matrix = matrix.matrix
+        if not sparse.issparse(matrix):
+            matrix = sparse.csr_matrix(np.atleast_2d(np.asarray(matrix, dtype=np.float64)))
+        csr = matrix.tocsr().astype(np.float64)
+        if csr.shape[1] != self.dimension:
+            raise ValidationError(
+                f"matrix dimension {csr.shape[1]} does not match index dimension {self.dimension}"
+            )
+        if not np.all(np.isfinite(csr.data)):
+            raise ValidationError("vector values must be finite (no NaN / inf)")
+        # Canonicalise BEFORE hashing: families that hash the support (e.g.
+        # MinHash) must see the same rows `insert` / a fresh batch build would,
+        # or explicit stored zeros would change the signatures.
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        signatures = [table.family.hash_matrix(csr) for table in self.tables]
+        ids = np.empty(csr.shape[0], dtype=np.int64)
+        for position in range(csr.shape[0]):
+            row = csr.getrow(position)
+            vector_id = self._next_id
+            self._next_id += 1
+            self._rows[vector_id] = row
+            self._live_position[vector_id] = len(self._live_ids)
+            self._live_ids.append(vector_id)
+            for table, table_signatures in zip(self.tables, signatures):
+                table.insert(vector_id, table_signatures[position])
+            ids[position] = vector_id
+            for observer in self._observers:
+                observer.on_insert(vector_id)
+        return ids
+
+    def delete(self, vector_id: int) -> None:
+        """Remove a live vector by id."""
+        if vector_id not in self._live_position:
+            raise ValidationError(f"vector id {vector_id} is not in the index")
+        for table in self.tables:
+            table.delete(vector_id)
+        position = self._live_position.pop(vector_id)
+        last = self._live_ids.pop()
+        if last != vector_id:
+            self._live_ids[position] = last
+            self._live_position[last] = position
+        del self._rows[vector_id]
+        self._normalized_rows.pop(vector_id, None)
+        for observer in self._observers:
+            observer.on_delete(vector_id)
+
+    # ------------------------------------------------------------------
+    # similarity + sampling primitives
+    # ------------------------------------------------------------------
+    def _normalized_row(self, vector_id: int) -> sparse.csr_matrix:
+        """L2-normalised row, computed lazily and cached (queries pay, updates don't)."""
+        row = self._normalized_rows.get(vector_id)
+        if row is None:
+            try:
+                raw = self._rows[vector_id]
+            except KeyError:
+                raise ValidationError(f"vector id {vector_id} is not in the index") from None
+            norm = float(np.sqrt(raw.multiply(raw).sum()))
+            row = raw * (1.0 / norm) if norm > 0.0 else raw
+            self._normalized_rows[vector_id] = row
+        return row
+
+    def cosine_pairs(self, left_ids: Sequence[int], right_ids: Sequence[int]) -> np.ndarray:
+        """Cosine similarities for many live ``(left, right)`` id pairs."""
+        left = np.asarray(left_ids, dtype=np.int64)
+        right = np.asarray(right_ids, dtype=np.int64)
+        if left.shape != right.shape:
+            raise ValidationError("left and right id arrays must have the same length")
+        if left.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        rows_left = sparse.vstack([self._normalized_row(int(i)) for i in left], format="csr")
+        rows_right = sparse.vstack([self._normalized_row(int(i)) for i in right], format="csr")
+        products = rows_left.multiply(rows_right).sum(axis=1)
+        return np.clip(np.asarray(products).ravel(), -1.0, 1.0)
+
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from the primary table's stratum H (SampleH)."""
+        return self.primary_table.sample_collision_pairs(sample_size, random_state=random_state)
+
+    def sample_non_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None, max_attempts: int = 64
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from the primary table's stratum L via rejection (SampleL)."""
+        if sample_size < 0:
+            raise ValidationError(f"sample_size must be >= 0, got {sample_size}")
+        if sample_size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if self.num_non_collision_pairs == 0:
+            raise InsufficientSampleError(
+                "stratum L is empty: every pair of vectors shares a bucket"
+            )
+        rng = ensure_rng(random_state)
+        live = self.ids
+        table = self.primary_table
+        lefts: List[np.ndarray] = []
+        rights: List[np.ndarray] = []
+        remaining = sample_size
+        for _attempt in range(max_attempts):
+            batch = max(remaining, 16)
+            left_pos, right_pos = sample_uniform_pairs(live.size, batch, rng)
+            left, right = live[left_pos], live[right_pos]
+            keep = ~table.same_bucket_many(left, right)
+            if keep.any():
+                lefts.append(left[keep][:remaining])
+                rights.append(right[keep][:remaining])
+                remaining -= lefts[-1].size
+            if remaining <= 0:
+                return (
+                    np.concatenate(lefts).astype(np.int64),
+                    np.concatenate(rights).astype(np.int64),
+                )
+        raise InsufficientSampleError(
+            "could not sample enough stratum-L pairs; the LSH table groups "
+            "almost every pair into a single bucket (k is far too small)"
+        )
+
+    # ------------------------------------------------------------------
+    # export / verification
+    # ------------------------------------------------------------------
+    def to_collection(self) -> Tuple[VectorCollection, np.ndarray]:
+        """Materialise the live vectors as an immutable collection.
+
+        Returns ``(collection, ids)`` where ``collection.row(i)`` is the
+        vector whose streaming id is ``ids[i]``.  Used by tests and
+        benchmarks to compare against a fresh static build.
+        """
+        if not self._live_ids:
+            raise ValidationError("cannot materialise an empty index as a collection")
+        ids = self.ids
+        stacked = sparse.vstack([self._rows[int(i)] for i in ids], format="csr")
+        return VectorCollection(stacked, copy=False), ids
+
+    def check_invariants(self) -> None:
+        """Verify bookkeeping across all tables (tests / debugging aid)."""
+        for table in self.tables:
+            table.check_invariants()
+            if table.num_vectors != self.size:
+                raise AssertionError(
+                    f"table holds {table.num_vectors} vectors, index holds {self.size}"
+                )
+        if len(self._rows) != self.size:
+            raise AssertionError("row storage drifted from live-id bookkeeping")
+        if not set(self._normalized_rows).issubset(self._rows):
+            raise AssertionError("normalised-row cache holds deleted vectors")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MutableLSHIndex(n={self.size}, d={self.dimension}, "
+            f"k={self.num_hashes}, tables={self.num_tables})"
+        )
+
+
+__all__ = ["MutableLSHTable", "MutableLSHIndex"]

@@ -98,3 +98,76 @@ class TestCommands:
         assert exit_code == 0
         for label in ("LSH-SS", "LSH-SS(D)", "LSH-S", "J_U", "LC", "RS(pop)", "RS(cross)"):
             assert label in captured.out
+
+
+class TestStreamCommand:
+    @staticmethod
+    def _write_log(path, *, num_vectors=60, dimension=12, dense=True):
+        import json
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        lines = []
+        for i in range(num_vectors):
+            values = (rng.random(dimension) < 0.4).astype(float)
+            if dense:
+                lines.append(json.dumps({"op": "insert", "dense": values.tolist()}))
+            else:
+                vector = {str(j): v for j, v in enumerate(values) if v}
+                lines.append(json.dumps({"op": "insert", "vector": vector}))
+            if i and i % 9 == 0:
+                lines.append(json.dumps({"op": "delete", "id": i - 4}))
+        lines.append(json.dumps({"op": "checkpoint", "label": "done"}))
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "--events", "log.jsonl"])
+        assert args.command == "stream"
+        assert args.threshold == 0.8
+        assert args.batch_size == 100
+        assert args.mode == "auto"
+
+    def test_stream_command_output(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl")
+        exit_code = main(
+            ["stream", "--events", str(log), "--threshold", "0.7",
+             "--batch-size", "20", "--num-hashes", "6", "--seed", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "N_H" in captured.out
+        assert "done" in captured.out          # checkpoint label appears
+        assert "batch of 20" in captured.out   # batch boundary emission
+
+    def test_stream_exact_mode(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        exit_code = main(
+            ["stream", "--events", str(log), "--mode", "exact",
+             "--batch-size", "10", "--num-hashes", "6"]
+        )
+        assert exit_code == 0
+        assert "N_L" in capsys.readouterr().out
+
+    def test_stream_sparse_vectors_need_dimension(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", dense=False)
+        exit_code = main(["stream", "--events", str(log), "--num-hashes", "6"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "dimension" in captured.err
+        exit_code = main(
+            ["stream", "--events", str(log), "--num-hashes", "6", "--dimension", "12"]
+        )
+        assert exit_code == 0
+
+    def test_stream_missing_file(self, capsys, tmp_path):
+        exit_code = main(["stream", "--events", str(tmp_path / "nope.jsonl")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err
+
+    def test_stream_invalid_batch_size(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=5)
+        exit_code = main(["stream", "--events", str(log), "--batch-size", "0"])
+        assert exit_code == 2

@@ -128,3 +128,22 @@ class TestPStable:
     def test_invalid_bucket_width(self):
         with pytest.raises(ValidationError):
             PStableL2Family(4, bucket_width=0.0)
+
+
+class TestHashMatrixCanonicalisation:
+    def test_explicit_zeros_do_not_change_signatures_or_input(self):
+        """hash_matrix must hash the logical vector, not the storage, and
+        must never mutate the caller's matrix."""
+        from scipy import sparse
+
+        from repro.lsh.families import MinHashFamily
+
+        data = np.array([1.0, 0.0, 2.0])  # explicit stored zero at column 2
+        stored = sparse.csr_matrix((data, np.array([0, 2, 3]), [0, 3]), shape=(1, 6))
+        canonical = stored.copy()
+        canonical.eliminate_zeros()
+        family = MinHashFamily(8, random_state=0)
+        np.testing.assert_array_equal(
+            family.hash_matrix(stored), family.hash_matrix(canonical)
+        )
+        assert stored.nnz == 3  # caller's matrix untouched

@@ -21,12 +21,29 @@ class TestResolveFamily:
         assert resolve_family(MinHashFamily) is MinHashFamily
 
     def test_unknown_name(self):
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError) as excinfo:
             resolve_family("hamming-nope")
+        assert "hamming-nope" in str(excinfo.value)
+        assert "cosine" in str(excinfo.value)  # the message lists the options
+
+    def test_name_is_case_insensitive(self):
+        assert resolve_family("COSINE") is SignRandomProjectionFamily
+        assert resolve_family("Jaccard") is MinHashFamily
 
     def test_non_family_class(self):
         with pytest.raises(ValidationError):
             resolve_family(dict)
+
+    def test_family_instance_rejected(self):
+        # an *instance* is not accepted, only names or classes
+        with pytest.raises(ValidationError):
+            resolve_family(MinHashFamily(4, random_state=0))
+
+    def test_none_and_numbers_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_family(None)
+        with pytest.raises(ValidationError):
+            resolve_family(3.14)
 
 
 class TestIndexConstruction:
