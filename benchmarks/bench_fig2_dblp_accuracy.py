@@ -15,8 +15,6 @@ Shape expectations carried over from the paper:
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks._helpers import accuracy_series, emit
 from repro.core import CrossSampling, LSHSSEstimator, RandomPairSampling
 from repro.evaluation import ExperimentRunner

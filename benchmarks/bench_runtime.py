@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from benchmarks._helpers import emit, format_table
 from repro.core import (
     LSHSEstimator,

@@ -83,6 +83,13 @@ from repro.evaluation import (
     empirical_stratum_probabilities,
     summarize_trials,
 )
+from repro.shard import (
+    KeyPartitioner,
+    ShardedMutableIndex,
+    ShardedStreamingEstimator,
+    ShardRouter,
+    merge_strata,
+)
 from repro.streaming import (
     ChangeLog,
     Checkpoint,
@@ -162,4 +169,10 @@ __all__ = [
     "Insert",
     "Delete",
     "Checkpoint",
+    # sharding
+    "KeyPartitioner",
+    "ShardedMutableIndex",
+    "ShardRouter",
+    "ShardedStreamingEstimator",
+    "merge_strata",
 ]

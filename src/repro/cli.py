@@ -22,6 +22,11 @@ Sub-commands
     Replay a JSONL change log (see :mod:`repro.streaming.events` for the
     format) through a mutable index and print one incremental estimate
     after every batch of updates and at every checkpoint.
+``shard``
+    Replay the same JSONL format through a :class:`repro.shard.ShardRouter`
+    over S bucket-key-partitioned shards, printing merged LSH-SS
+    estimates (router → shards → merge) and the per-shard strata; the
+    final cluster state can be checkpointed with ``--snapshot``.
 """
 
 from __future__ import annotations
@@ -127,6 +132,33 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--num-hashes", type=int, default=20,
                         help="hash functions per LSH table, k (default: 20)")
     stream.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+
+    shard = subparsers.add_parser(
+        "shard", help="sharded incremental estimates over a JSONL change log"
+    )
+    shard.add_argument("--events", required=True,
+                       help="path to a JSONL change log (insert/delete/checkpoint events)")
+    shard.add_argument("--shards", type=int, default=4,
+                       help="number of bucket-key-partitioned shards S (default: 4)")
+    shard.add_argument("--threshold", type=float, default=0.8,
+                       help="similarity threshold τ (default: 0.8)")
+    shard.add_argument("--dimension", type=int, default=None,
+                       help="vector dimensionality; inferred from the first dense "
+                            "insert when omitted")
+    shard.add_argument("--batch-size", type=int, default=100,
+                       help="router ingest batch size; an estimate is emitted per "
+                            "flushed batch (default: 100)")
+    shard.add_argument("--mode", choices=("auto", "exact", "merged"), default="merged",
+                       help="merge path: pooled per-shard reservoirs (auto/merged) "
+                            "or merged-layout stratified sampling (exact, "
+                            "bit-identical to the unsharded estimator)")
+    shard.add_argument("--workers", type=int, default=None,
+                       help="ingest worker threads (default: one per shard)")
+    shard.add_argument("--snapshot", default=None,
+                       help="write the final cluster state to this file")
+    shard.add_argument("--num-hashes", type=int, default=20,
+                       help="hash functions per LSH table, k (default: 20)")
+    shard.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
     return parser
 
 
@@ -218,16 +250,7 @@ def _command_stream(args: argparse.Namespace) -> str:
     if not Path(args.events).is_file():
         raise ValidationError(f"event log not found: {args.events}")
     log = ChangeLog.from_jsonl(args.events)
-    dimension = args.dimension
-    if dimension is None:
-        for event in log:
-            if isinstance(event, Insert) and not hasattr(event.vector, "items"):
-                dimension = len(event.vector)
-                break
-        else:
-            raise ValidationError(
-                "--dimension is required when the log has no dense insert to infer it from"
-            )
+    dimension = _infer_dimension(log, args.dimension)
     index = MutableLSHIndex(
         dimension, num_hashes=args.num_hashes, random_state=args.seed + 1
     )
@@ -281,6 +304,97 @@ def _command_stream(args: argparse.Namespace) -> str:
     )
 
 
+def _infer_dimension(log, explicit: Optional[int]) -> int:
+    from repro.streaming import Insert
+
+    if explicit is not None:
+        return explicit
+    for event in log:
+        if isinstance(event, Insert) and not hasattr(event.vector, "items"):
+            return len(event.vector)
+    raise ValidationError(
+        "--dimension is required when the log has no dense insert to infer it from"
+    )
+
+
+def _command_shard(args: argparse.Namespace) -> str:
+    from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
+    from repro.streaming import ChangeLog, Checkpoint, Delete, Insert
+
+    if args.batch_size < 1:
+        raise ValidationError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if not Path(args.events).is_file():
+        raise ValidationError(f"event log not found: {args.events}")
+    log = ChangeLog.from_jsonl(args.events)
+    dimension = _infer_dimension(log, args.dimension)
+    index = ShardedMutableIndex(
+        dimension,
+        num_shards=args.shards,
+        num_hashes=args.num_hashes,
+        random_state=args.seed + 1,
+        # the exact path never reads reservoirs: skip per-shard repair work
+        shard_estimators=args.mode != "exact",
+    )
+    estimator = ShardedStreamingEstimator(index)
+    router = ShardRouter(index, batch_size=args.batch_size, max_workers=args.workers)
+
+    rows = []
+    inserts = deletes = pending = 0
+
+    def emit_row(event_number: int, label: str) -> None:
+        estimate = estimator.estimate(
+            args.threshold, random_state=args.seed + event_number, mode=args.mode
+        )
+        shard_sizes = "/".join(str(shard.size) for shard in index.shards)
+        rows.append(
+            [
+                event_number,
+                label,
+                index.size,
+                shard_sizes,
+                index.num_collision_pairs,
+                index.num_non_collision_pairs,
+                estimate.value,
+            ]
+        )
+
+    for event_number, event in enumerate(log, 1):
+        if isinstance(event, Insert):
+            router.insert(event.vector)
+            inserts += 1
+            pending += 1
+        elif isinstance(event, Delete):
+            router.delete(event.vector_id)
+            deletes += 1
+            pending += 1
+        elif isinstance(event, Checkpoint):
+            router.flush()
+            emit_row(event_number, event.label or "checkpoint")
+            pending = 0
+        if pending >= args.batch_size:
+            router.flush()
+            emit_row(event_number, f"batch of {pending}")
+            pending = 0
+    router.close()
+    if pending:
+        emit_row(len(log), f"final batch of {pending}")
+    if args.snapshot:
+        index.snapshot(args.snapshot)
+    summary = (
+        f"Sharded streaming estimates — {args.events}: {inserts} inserts, "
+        f"{deletes} deletes over {args.shards} shards, τ={args.threshold}, "
+        f"k={args.num_hashes}, mode={args.mode}"
+        + (f"; snapshot → {args.snapshot}" if args.snapshot else "")
+    )
+    return format_table(
+        ["event", "trigger", "n", "per-shard n", "N_H", "N_L",
+         f"estimate J(τ={args.threshold})"],
+        rows,
+        float_format="{:.1f}",
+        title=summary,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -292,6 +406,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_sweep(args)
         elif args.command == "stream":
             output = _command_stream(args)
+        elif args.command == "shard":
+            output = _command_shard(args)
         else:
             output = _command_probabilities(args)
     except ReproError as error:

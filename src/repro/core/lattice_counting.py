@@ -26,8 +26,6 @@ underestimation at high thresholds and strong sensitivity to ``k``.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 from scipy.optimize import nnls
 

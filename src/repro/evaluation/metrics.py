@@ -14,7 +14,7 @@ for overestimation, negative for underestimation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ verbatim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.runner import SweepRecord, records_by_estimator
 

@@ -10,9 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.base import SimilarityJoinSizeEstimator
 from repro.errors import ValidationError

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.errors import ValidationError
 from repro.vectors.collection import VectorCollection
 

@@ -10,7 +10,7 @@ the join itself is enormous.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

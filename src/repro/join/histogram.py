@@ -12,7 +12,7 @@ sum, and the total number of pairs below the first bin is recovered from
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

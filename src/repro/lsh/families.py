@@ -39,6 +39,34 @@ from repro.rng import RandomState, ensure_rng
 from repro.vectors.collection import VectorCollection
 
 _MERSENNE_PRIME = (1 << 61) - 1
+_MASK_30 = np.uint64((1 << 30) - 1)
+_MASK_31 = np.uint64((1 << 31) - 1)
+_PRIME_U64 = np.uint64(_MERSENNE_PRIME)
+#: elements per ``(nnz × k)`` hash block — bounds temporary memory to a few MB
+_MINHASH_BLOCK_ELEMENTS = 1 << 20
+
+
+def _minhash_block(
+    support: np.ndarray, a_hi: np.ndarray, a_lo: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """``(a·x + b) mod (2^61 − 1)`` for a block of support indices, vectorised.
+
+    A plain ``a * x`` overflows 64 bits (``a < 2^61``, ``x < 2^31``), so the
+    multiplier is split into 31-bit limbs: with ``a = a_hi·2³¹ + a_lo``,
+
+    ``a·x ≡ a_lo·x + (t_hi + t_lo·2³¹)  (mod p)``
+
+    where ``t = a_hi·x = t_hi·2³⁰ + t_lo`` and ``2⁶¹ ≡ 1 (mod p)`` folds the
+    high limb back down.  Every intermediate fits in ``uint64``; the final
+    Mersenne fold yields the canonical residue, so the result is bit-identical
+    to exact (object-dtype) arithmetic.
+    """
+    x = support.astype(np.uint64)[:, None]
+    term_lo = a_lo[None, :] * x                      # < 2^62
+    t = a_hi[None, :] * x                            # < 2^61
+    total = term_lo + (t >> np.uint64(30)) + ((t & _MASK_30) << np.uint64(31)) + b[None, :]
+    total = (total & _PRIME_U64) + (total >> np.uint64(61))
+    return np.where(total >= _PRIME_U64, total - _PRIME_U64, total).astype(np.int64)
 
 
 class LSHFamily(abc.ABC):
@@ -193,20 +221,38 @@ class MinHashFamily(LSHFamily):
     def _hash_matrix(self, matrix: sparse.csr_matrix) -> np.ndarray:
         assert self._coefficients_a is not None and self._coefficients_b is not None
         num_rows = matrix.shape[0]
+        if matrix.shape[1] >= (1 << 31):
+            raise ValidationError(
+                "MinHashFamily supports dimensions below 2^31, got "
+                f"{matrix.shape[1]}"
+            )
         signatures = np.full(
             (num_rows, self.num_hashes), _MERSENNE_PRIME, dtype=np.int64
         )
-        coefficients_a = self._coefficients_a.astype(object)
-        coefficients_b = self._coefficients_b.astype(object)
         indptr, indices = matrix.indptr, matrix.indices
-        for row in range(num_rows):
-            support = indices[indptr[row]:indptr[row + 1]]
-            if support.size == 0:
-                continue
-            # object dtype avoids int64 overflow of a * x before the modulus.
-            hashed = (support.astype(object)[:, None] * coefficients_a[None, :]
-                      + coefficients_b[None, :]) % _MERSENNE_PRIME
-            signatures[row] = np.min(hashed.astype(np.int64), axis=0)
+        if indices.size == 0:
+            return signatures
+        a = self._coefficients_a.astype(np.uint64)
+        a_hi, a_lo = a >> np.uint64(31), a & _MASK_31
+        b = self._coefficients_b.astype(np.uint64)
+        # Hash in row-aligned blocks so the (block_nnz × k) temporary stays
+        # bounded; per-row minima come from one reduceat per block (rows with
+        # empty support keep the sentinel, so segment boundaries stay exact).
+        budget = max(1, _MINHASH_BLOCK_ELEMENTS // self.num_hashes)
+        start_row = 0
+        while start_row < num_rows:
+            end_row = int(np.searchsorted(indptr, int(indptr[start_row]) + budget, side="right")) - 1
+            end_row = min(max(end_row, start_row + 1), num_rows)
+            block = indices[indptr[start_row] : indptr[end_row]]
+            if block.size:
+                hashed = _minhash_block(block, a_hi, a_lo, b)
+                lengths = np.diff(indptr[start_row : end_row + 1])
+                occupied = np.flatnonzero(lengths > 0)
+                segment_starts = (indptr[start_row + occupied] - indptr[start_row]).astype(np.int64)
+                signatures[start_row + occupied] = np.minimum.reduceat(
+                    hashed, segment_starts, axis=0
+                )
+            start_row = end_row
         return signatures
 
     def collision_probability(self, similarity: np.ndarray) -> np.ndarray:

@@ -16,7 +16,7 @@ lives in :mod:`repro.core.multi_table`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Type
+from typing import List, Tuple, Type
 
 import numpy as np
 

@@ -16,7 +16,7 @@ remains reproducible from one seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -1,0 +1,41 @@
+"""Sharded scale-out of the streaming estimation subsystem.
+
+The LSH-SS strata statistics are additive across disjoint bucket-key
+partitions, which makes the PR-1 streaming subsystem shardable without
+approximation:
+
+* :mod:`~repro.shard.partition` — :class:`KeyPartitioner`, the stable
+  bucket-key → shard assignment (a vectorised splitmix64/FNV content
+  hash of the signature values; identical from key bytes or signature
+  matrices).
+* :mod:`~repro.shard.sharded_index` — :class:`ShardedMutableIndex`, ``S``
+  shards (each a :class:`~repro.streaming.mutable_index.MutableLSHIndex`
+  plus an optional locally repaired
+  :class:`~repro.streaming.estimator.StreamingEstimator`) behind a
+  drop-in single-index surface with the query-side merge layer built in.
+* :mod:`~repro.shard.router` — :class:`ShardRouter`, the buffered write
+  path: batch hashing, bucket-key partitioning, and shard-parallel
+  ingestion on top of ``insert_many``; replays
+  :class:`~repro.streaming.events.ChangeLog` streams.
+* :mod:`~repro.shard.merge` — :func:`merge_strata` /
+  :class:`ShardedStreamingEstimator`, combining per-shard ``N_H`` /
+  ``N_L`` counts and reservoirs into one LSH-SS estimate; the exact mode
+  is bit-identical (same seed) to an unsharded estimator over the same
+  event sequence.
+"""
+
+from repro.shard.merge import MergedStrata, ShardedStreamingEstimator, merge_strata
+from repro.shard.partition import KeyPartitioner
+from repro.shard.router import ShardRouter
+from repro.shard.sharded_index import IndexShard, PreparedBatch, ShardedMutableIndex
+
+__all__ = [
+    "KeyPartitioner",
+    "IndexShard",
+    "PreparedBatch",
+    "ShardedMutableIndex",
+    "ShardRouter",
+    "MergedStrata",
+    "merge_strata",
+    "ShardedStreamingEstimator",
+]

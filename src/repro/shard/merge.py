@@ -1,0 +1,302 @@
+"""Merging per-shard strata statistics and reservoirs into one estimate.
+
+The LSH-SS decomposition survives sharding because the strata are
+additive over the bucket-key partition:
+
+* ``N_H = Σ_s N_H^{(s)}`` — a bucket lives wholly inside one shard;
+* every cross-shard pair has differing signatures, hence lies in
+  stratum L: ``N_L = C(n, 2) − N_H``, with the intra-shard share
+  ``Σ_s (C(n_s, 2) − N_H^{(s)})`` and the rest cross-shard.
+
+:func:`merge_strata` exposes those identities as numbers;
+:class:`ShardedStreamingEstimator` turns them into estimates through two
+paths:
+
+* ``mode="exact"`` — the facade's merged SampleH / SampleL primitives.
+  The merged bucket layout reproduces the unsharded one (see
+  :mod:`repro.shard.sharded_index`), so for the same seed the estimate
+  is **bit-identical** to an unsharded
+  :class:`~repro.streaming.estimator.StreamingEstimator` in exact mode
+  over the same event sequence.
+* ``mode="merged"`` (and ``"auto"``, its alias with per-shard repairs
+  already applied by the routed mutations) — pool the per-shard
+  reservoirs without touching any bucket at query time: stratum-H draws
+  pick a shard with probability ``N_H^{(s)} / N_H`` and then a reservoir
+  pair; stratum-L draws mix the per-shard intra-L reservoirs with
+  directly sampled cross-shard pairs (shard pair ``(i, j)`` with
+  probability ``n_i·n_j / N_L^{cross}``, members uniform).  Each draw is
+  i.i.d. uniform over its stratum, so the LSH-SS kernels apply
+  unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Estimate, SimilarityJoinSizeEstimator
+from repro.core.lsh_ss import (
+    Dampening,
+    default_answer_threshold,
+    default_sample_size,
+    sample_stratum_h,
+    sample_stratum_l,
+)
+from repro.errors import ValidationError
+from repro.rng import RandomState, ensure_rng
+from repro.shard.sharded_index import ShardedMutableIndex
+
+_MODES = ("auto", "exact", "merged")
+
+
+@dataclass(frozen=True)
+class MergedStrata:
+    """Global strata sizes reassembled from per-shard statistics."""
+
+    size: int
+    num_collision_pairs: int
+    shard_sizes: Tuple[int, ...]
+    shard_collision_pairs: Tuple[int, ...]
+
+    @property
+    def total_pairs(self) -> int:
+        return self.size * (self.size - 1) // 2
+
+    @property
+    def num_non_collision_pairs(self) -> int:
+        return self.total_pairs - self.num_collision_pairs
+
+    @property
+    def shard_intra_non_collision_pairs(self) -> Tuple[int, ...]:
+        return tuple(
+            n * (n - 1) // 2 - collisions
+            for n, collisions in zip(self.shard_sizes, self.shard_collision_pairs)
+        )
+
+    @property
+    def cross_shard_pairs(self) -> int:
+        """Pairs spanning two shards — all of them stratum L."""
+        return self.total_pairs - sum(n * (n - 1) // 2 for n in self.shard_sizes)
+
+
+def merge_strata(sharded: ShardedMutableIndex) -> MergedStrata:
+    """Assemble the additive strata identities from the live shards."""
+    return MergedStrata(
+        size=sharded.size,
+        num_collision_pairs=sharded.num_collision_pairs,
+        shard_sizes=tuple(shard.size for shard in sharded.shards),
+        shard_collision_pairs=tuple(shard.num_collision_pairs for shard in sharded.shards),
+    )
+
+
+class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
+    """LSH-SS served from a sharded index (see module docs for the modes).
+
+    Parameters mirror :class:`~repro.streaming.estimator.StreamingEstimator`;
+    the sample-size and ``δ`` defaults track the current *global* ``n``.
+    ``details`` adds the per-shard strata (``shard_sizes`` /
+    ``shard_collision_pairs``) and the sources used per stratum.
+    """
+
+    name = "LSH-SS(sharded)"
+
+    def __init__(
+        self,
+        sharded: ShardedMutableIndex,
+        *,
+        sample_size_h: Optional[int] = None,
+        sample_size_l: Optional[int] = None,
+        answer_threshold: Optional[int] = None,
+        dampening: Dampening = None,
+    ):
+        for name, value in (
+            ("sample_size_h (m_H)", sample_size_h),
+            ("sample_size_l (m_L)", sample_size_l),
+            ("answer_threshold (δ)", answer_threshold),
+        ):
+            if value is not None and value < 1:
+                raise ValidationError(f"{name} must be >= 1, got {value}")
+        if dampening is not None and dampening != "auto":
+            if not 0.0 < float(dampening) <= 1.0:
+                raise ValidationError(f"dampening must be in (0, 1] or 'auto', got {dampening}")
+        self.sharded = sharded
+        self.sample_size_h = sample_size_h
+        self.sample_size_l = sample_size_l
+        self.answer_threshold = answer_threshold
+        self.dampening: Dampening = dampening
+
+    @property
+    def total_pairs(self) -> int:
+        return self.sharded.total_pairs
+
+    # ------------------------------------------------------------------
+    # merged-reservoir pair sources
+    # ------------------------------------------------------------------
+    def _shard_h_draw(self, shard, count: int, rng: np.random.Generator):
+        """``count`` stratum-H pairs from one shard: reservoir, else fresh."""
+        estimator = shard.estimator
+        if estimator is not None and estimator.reservoir_usable("h"):
+            left, right = estimator.reservoir_pairs("h")
+            positions = rng.integers(0, left.size, size=count)
+            return left[positions], right[positions]
+        return shard.index.sample_collision_pairs(count, random_state=rng)
+
+    def _shard_l_draw(self, shard, count: int, rng: np.random.Generator):
+        """``count`` intra-shard stratum-L pairs: reservoir, else fresh."""
+        estimator = shard.estimator
+        if estimator is not None and estimator.reservoir_usable("l"):
+            left, right = estimator.reservoir_pairs("l")
+            positions = rng.integers(0, left.size, size=count)
+            return left[positions], right[positions]
+        return shard.index.sample_non_collision_pairs(count, random_state=rng)
+
+    def _merged_source_h(self, strata: MergedStrata):
+        weights = np.asarray(strata.shard_collision_pairs, dtype=np.float64)
+        total = weights.sum()
+        probabilities = weights / total
+
+        def source(size: int, rng: np.random.Generator):
+            picks = rng.choice(len(self.sharded.shards), size=size, p=probabilities)
+            left = np.empty(size, dtype=np.int64)
+            right = np.empty(size, dtype=np.int64)
+            for shard_id in np.unique(picks):
+                mask = picks == shard_id
+                left[mask], right[mask] = self._shard_h_draw(
+                    self.sharded.shards[int(shard_id)], int(mask.sum()), rng
+                )
+            return left, right
+
+        return source
+
+    def _merged_source_l(self, strata: MergedStrata):
+        num_shards = len(self.sharded.shards)
+        intra = np.asarray(strata.shard_intra_non_collision_pairs, dtype=np.float64)
+        # component num_shards + index(i, j) = the cross-shard block (i, j)
+        cross_blocks = list(combinations(range(num_shards), 2))
+        cross_weights = np.asarray(
+            [strata.shard_sizes[i] * strata.shard_sizes[j] for i, j in cross_blocks],
+            dtype=np.float64,
+        )
+        weights = np.concatenate([intra, cross_weights])
+        probabilities = weights / weights.sum()
+        shard_ids_arrays = [shard.index.ids for shard in self.sharded.shards]
+
+        def source(size: int, rng: np.random.Generator):
+            picks = rng.choice(weights.size, size=size, p=probabilities)
+            left = np.empty(size, dtype=np.int64)
+            right = np.empty(size, dtype=np.int64)
+            for component in np.unique(picks):
+                mask = picks == component
+                count = int(mask.sum())
+                if component < num_shards:
+                    left[mask], right[mask] = self._shard_l_draw(
+                        self.sharded.shards[int(component)], count, rng
+                    )
+                else:
+                    i, j = cross_blocks[int(component) - num_shards]
+                    left[mask] = shard_ids_arrays[i][
+                        rng.integers(0, shard_ids_arrays[i].size, size=count)
+                    ]
+                    right[mask] = shard_ids_arrays[j][
+                        rng.integers(0, shard_ids_arrays[j].size, size=count)
+                    ]
+            return left, right
+
+        return source
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        random_state: RandomState = None,
+        mode: str = "auto",
+    ) -> Estimate:
+        """Estimate the join size at ``threshold`` (see module docs for modes)."""
+        self.validate_threshold(threshold)
+        if mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+        estimate = self._estimate_with_mode(float(threshold), mode, random_state=random_state)
+        estimate.value = float(min(max(estimate.value, 0.0), float(self.total_pairs)))
+        return estimate
+
+    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+        return self._estimate_with_mode(threshold, "auto", random_state=random_state)
+
+    def _estimate_with_mode(
+        self, threshold: float, mode: str, *, random_state: RandomState = None
+    ) -> Estimate:
+        rng = ensure_rng(random_state)
+        strata = merge_strata(self.sharded)
+        n = strata.size
+        num_h = strata.num_collision_pairs
+        num_l = strata.num_non_collision_pairs
+        sample_size_h = (
+            self.sample_size_h if self.sample_size_h is not None else default_sample_size(n)
+        )
+        sample_size_l = (
+            self.sample_size_l if self.sample_size_l is not None else default_sample_size(n)
+        )
+        answer_threshold = (
+            self.answer_threshold
+            if self.answer_threshold is not None
+            else default_answer_threshold(n)
+        )
+        if mode == "exact":
+            source_h = lambda size, generator: self.sharded.sample_collision_pairs(  # noqa: E731
+                size, random_state=generator
+            )
+            source_l = lambda size, generator: self.sharded.sample_non_collision_pairs(  # noqa: E731
+                size, random_state=generator
+            )
+        else:
+            source_h = self._merged_source_h(strata) if num_h > 0 else None
+            source_l = self._merged_source_l(strata) if num_l > 0 else None
+        stratum_h = sample_stratum_h(
+            num_h,
+            source_h,
+            self.sharded.cosine_pairs,
+            threshold,
+            sample_size_h,
+            rng,
+        )
+        stratum_l = sample_stratum_l(
+            num_l,
+            source_l,
+            self.sharded.cosine_pairs,
+            threshold,
+            answer_threshold,
+            sample_size_l,
+            self.dampening,
+            rng,
+        )
+        return Estimate(
+            value=stratum_h.estimate + stratum_l.estimate,
+            estimator=self.name,
+            threshold=threshold,
+            details={
+                "stratum_h": stratum_h.estimate,
+                "stratum_l": stratum_l.estimate,
+                "true_in_sample_h": stratum_h.true_in_sample,
+                "true_in_sample_l": stratum_l.true_in_sample,
+                "samples_taken_l": stratum_l.samples_taken,
+                "reached_answer_threshold": stratum_l.reached_answer_threshold,
+                "dampening_used": stratum_l.dampening_used,
+                "n": n,
+                "num_collision_pairs": num_h,
+                "num_non_collision_pairs": num_l,
+                "num_shards": self.sharded.num_shards,
+                "shard_sizes": list(strata.shard_sizes),
+                "shard_collision_pairs": list(strata.shard_collision_pairs),
+                "cross_shard_pairs": strata.cross_shard_pairs,
+                "mode": mode,
+            },
+        )
+
+
+__all__ = ["MergedStrata", "merge_strata", "ShardedStreamingEstimator"]

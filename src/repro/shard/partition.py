@@ -1,0 +1,96 @@
+"""Deterministic bucket-key → shard assignment.
+
+The LSH-SS estimator's strata statistics are additive across disjoint
+*bucket-key* partitions: a bucket lives wholly inside one shard, so
+per-shard ``N_H = Σ C(b_j, 2)`` counts sum to the global ``N_H``, and
+every cross-shard pair is guaranteed to be a stratum-L pair (different
+shards ⇒ different signatures ⇒ different buckets).  The partitioner
+therefore routes on the *primary-table signature* — the same ``k``
+integers the tables serialise into bucket keys.
+
+Assignment is a content hash of the signature values (a splitmix64
+finalizer per hash value folded FNV-style, which avalanches even the
+0/1-valued SimHash signatures), so it is stable across processes,
+platforms, and restarts — a requirement for checkpoint/restore and for
+replaying a :class:`~repro.streaming.events.ChangeLog` onto a fresh
+cluster.  Python's salted built-in ``hash`` must never be used here.
+The hash is computed either from an ``(n, k)`` signature matrix in one
+vectorised pass (:meth:`KeyPartitioner.shard_of_signatures`, the router
+batch path) or from the serialised key bytes
+(:meth:`KeyPartitioner.shard_of`); both give identical assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+_MASK_64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_2 = np.uint64(0x94D049BB133111EB)
+_FNV_PRIME = np.uint64(0x100000001B3)
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+
+
+def signature_shard_hash(signatures: np.ndarray) -> np.ndarray:
+    """64-bit content hash per signature row, fully vectorised.
+
+    Each of the ``k`` values is offset by a column constant, avalanched
+    with the splitmix64 finalizer, and folded into an FNV-style
+    accumulator.  All arithmetic is modular ``uint64`` (NumPy wraps
+    silently on arrays), so the result is platform-independent.
+    """
+    values = np.ascontiguousarray(np.asarray(signatures, dtype=np.int64))
+    if values.ndim == 1:
+        values = values[None, :]
+    bits = values.view(np.uint64)
+    accumulator = np.full(bits.shape[0], _FNV_OFFSET, dtype=np.uint64)
+    for column in range(bits.shape[1]):
+        mixed = bits[:, column] + np.uint64(((column + 1) * _GOLDEN) & _MASK_64)
+        mixed = (mixed ^ (mixed >> np.uint64(30))) * _MIX_1
+        mixed = (mixed ^ (mixed >> np.uint64(27))) * _MIX_2
+        mixed ^= mixed >> np.uint64(31)
+        accumulator = (accumulator ^ mixed) * _FNV_PRIME
+    return accumulator ^ (accumulator >> np.uint64(33))
+
+
+class KeyPartitioner:
+    """Stable assignment of bucket keys to ``num_shards`` shards."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    def shard_of_signatures(self, signatures: np.ndarray) -> np.ndarray:
+        """Owning shards for an ``(n, k)`` signature matrix (batch path)."""
+        hashes = signature_shard_hash(signatures)
+        if self.num_shards == 1:
+            return np.zeros(hashes.size, dtype=np.int64)
+        return (hashes % np.uint64(self.num_shards)).astype(np.int64)
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard owning the bucket with serialised signature ``key``.
+
+        ``key`` is the bucket-key byte string the tables use
+        (little-endian ``int64`` values); the assignment equals
+        :meth:`shard_of_signatures` on the corresponding signature row.
+        """
+        if self.num_shards == 1:
+            return 0
+        values = np.frombuffer(key, dtype=np.int64)
+        return int(self.shard_of_signatures(values)[0])
+
+    def __call__(self, key: bytes) -> int:
+        return self.shard_of(key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KeyPartitioner) and other.num_shards == self.num_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"KeyPartitioner(num_shards={self.num_shards})"
+
+
+__all__ = ["KeyPartitioner", "signature_shard_hash"]

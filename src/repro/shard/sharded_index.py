@@ -1,0 +1,716 @@
+"""A sharded mutable LSH index: scale-out with a drop-in single-index surface.
+
+:class:`ShardedMutableIndex` partitions the bucket-key space of a
+:class:`~repro.streaming.mutable_index.MutableLSHIndex` across ``S``
+shards.  Every shard wraps its own ``MutableLSHIndex`` (sharing the *same*
+hash-family instances, so all shards hash identically) plus an optional
+per-shard :class:`~repro.streaming.estimator.StreamingEstimator` whose
+reservoirs are repaired locally as mutations arrive.
+
+The facade exposes the full single-index surface — ``insert`` /
+``insert_many`` / ``delete``, observers, SampleH / SampleL, per-pair
+cosine — with the *merge layer* built in:
+
+* ``N_H`` is the sum of per-shard ``N_H`` (buckets never straddle
+  shards), ``N_L = C(n, 2) − N_H`` (cross-shard pairs are all stratum L);
+* the SampleH layout stitches per-shard buckets together in the *global*
+  first-appearance order of their keys, which the facade tracks as events
+  flow through it — so the stitched layout is exactly the layout one
+  unsharded index would have built, and sampling draws are **bit-identical
+  for the same seed**;
+* member lists inside a bucket evolve only through operations on that
+  bucket, all routed to one shard in arrival order, so they too match the
+  unsharded index element for element.
+
+Consequently a :class:`~repro.streaming.estimator.StreamingEstimator`
+constructed over the facade behaves bit-identically to one constructed
+over an unsharded index fed the same event sequence, and the dedicated
+:class:`~repro.shard.merge.ShardedStreamingEstimator` adds a
+reservoir-pooling mode that merges per-shard samples without touching
+any bucket at query time.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import InsufficientSampleError, ValidationError
+from repro.lsh.families import LSHFamily
+from repro.lsh.index import resolve_family
+from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
+from repro.rng import RandomState, ensure_rng, spawn
+from repro.shard.partition import KeyPartitioner
+from repro.streaming.estimator import StreamingEstimator
+from repro.streaming.mutable_index import (
+    MutableLSHIndex,
+    VectorInput,
+    claim_vector_id,
+    coerce_matrix,
+    coerce_row,
+    freeze_bucket_layout,
+    signature_bucket_key,
+)
+from repro.streaming.rowstore import pairwise_cosine
+from repro.vectors.collection import VectorCollection
+
+
+@dataclass
+class IndexShard:
+    """One shard: a mutable index plus its locally repaired estimator."""
+
+    shard_id: int
+    index: MutableLSHIndex
+    estimator: Optional[StreamingEstimator] = None
+
+    @property
+    def size(self) -> int:
+        return self.index.size
+
+    @property
+    def num_collision_pairs(self) -> int:
+        """Shard-local ``N_H`` (additive across shards)."""
+        return self.index.num_collision_pairs
+
+    @property
+    def intra_non_collision_pairs(self) -> int:
+        """Shard-local ``N_L`` over *intra-shard* pairs only."""
+        return self.index.num_non_collision_pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"IndexShard(id={self.shard_id}, n={self.size}, NH={self.num_collision_pairs})"
+
+
+@dataclass
+class PreparedBatch:
+    """A routed insert batch: coerced rows, signatures, and shard targets."""
+
+    ids: np.ndarray
+    csr: sparse.csr_matrix
+    signatures: List[np.ndarray]
+    keys: List[bytes]
+    shard_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+
+class _MergedPrimaryView:
+    """The facade's stand-in for ``index.primary_table``.
+
+    Implements the subset of the :class:`MutableLSHTable` surface the
+    estimators and samplers touch, answering from the owning shards.
+    """
+
+    def __init__(self, owner: "ShardedMutableIndex"):
+        self._owner = owner
+
+    @property
+    def num_vectors(self) -> int:
+        return self._owner.size
+
+    @property
+    def num_hashes(self) -> int:
+        return self._owner.num_hashes
+
+    @property
+    def num_collision_pairs(self) -> int:
+        return self._owner.num_collision_pairs
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._owner._bucket_refs)
+
+    @property
+    def bucket_sizes(self) -> np.ndarray:
+        return np.asarray(
+            [count for count, _ in self._owner._bucket_refs.values()], dtype=np.int64
+        )
+
+    def _shard_table(self, vector_id: int):
+        return self._owner.shard_of(vector_id).index.primary_table
+
+    def signature_key(self, vector_id: int) -> bytes:
+        return self._shard_table(int(vector_id)).signature_key(int(vector_id))
+
+    def bucket_size_of(self, vector_id: int) -> int:
+        return self._shard_table(int(vector_id)).bucket_size_of(int(vector_id))
+
+    def same_bucket(self, u: int, v: int) -> bool:
+        return self.signature_key(u) == self.signature_key(v)
+
+    def same_bucket_many(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        key = self.signature_key
+        return np.fromiter(
+            (key(int(u)) == key(int(v)) for u, v in zip(left, right)),
+            dtype=bool,
+            count=len(left),
+        )
+
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self._owner.sample_collision_pairs(sample_size, random_state=random_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"MergedPrimaryView(n={self.num_vectors}, "
+            f"buckets={self.num_buckets}, NH={self.num_collision_pairs})"
+        )
+
+
+class ShardedMutableIndex:
+    """``S`` bucket-key-partitioned shards behind one mutable-index surface.
+
+    Parameters
+    ----------
+    dimension, num_hashes, num_tables, family, random_state:
+        As in :class:`~repro.streaming.mutable_index.MutableLSHIndex`;
+        the hash families are drawn once with exactly the same generator
+        sequence, so an unsharded index with the same seed hashes (and
+        therefore buckets) every vector identically.
+    num_shards:
+        ``S`` — number of shards.
+    shard_estimators:
+        When true (default), every shard carries a
+        :class:`~repro.streaming.estimator.StreamingEstimator` that
+        repairs its reservoirs as mutations are routed in; the merge
+        layer pools them for bucket-free query serving.
+    estimator_kwargs:
+        Extra keyword arguments for the per-shard estimators
+        (``reservoir_size``, ``staleness_budget``, …).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        num_shards: int = 4,
+        num_hashes: int = 20,
+        num_tables: int = 1,
+        family: Union[str, Type[LSHFamily]] = "cosine",
+        random_state: RandomState = None,
+        shard_estimators: bool = True,
+        estimator_kwargs: Optional[Dict[str, object]] = None,
+    ):
+        if dimension < 1:
+            raise ValidationError(f"dimension must be >= 1, got {dimension}")
+        if num_tables < 1:
+            raise ValidationError(f"num_tables (ℓ) must be >= 1, got {num_tables}")
+        self.dimension = int(dimension)
+        self.num_hashes = int(num_hashes)
+        self.num_tables = int(num_tables)
+        self.partitioner = KeyPartitioner(num_shards)
+        # identical family-draw sequence to an unsharded MutableLSHIndex
+        family_class = resolve_family(family)
+        rng = ensure_rng(random_state)
+        self.families: List[LSHFamily] = []
+        for child in spawn(rng, num_tables):
+            family_instance = family_class(self.num_hashes, random_state=child)
+            family_instance.ensure_initialised(self.dimension)
+            self.families.append(family_instance)
+        self._shard_estimators = bool(shard_estimators)
+        self._estimator_kwargs = dict(estimator_kwargs or {})
+        self.shards: List[IndexShard] = []
+        estimator_rngs = spawn(rng, num_shards) if self._shard_estimators else [None] * num_shards
+        for shard_id in range(num_shards):
+            index = MutableLSHIndex(
+                self.dimension,
+                num_hashes=self.num_hashes,
+                num_tables=self.num_tables,
+                families=self.families,
+            )
+            estimator = None
+            if self._shard_estimators:
+                estimator = StreamingEstimator(
+                    index, random_state=estimator_rngs[shard_id], **self._estimator_kwargs
+                )
+            self.shards.append(IndexShard(shard_id, index, estimator))
+        self._shard_of_id: Dict[int, int] = {}
+        #: primary-table bucket key → [live member count, owning shard];
+        #: dict order mirrors the unsharded table's bucket insertion order
+        self._bucket_refs: Dict[bytes, List[int]] = {}
+        self._live_ids: List[int] = []
+        self._live_position: Dict[int, int] = {}
+        self._next_id = 0
+        self._observers: List[object] = []
+        self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(
+        cls,
+        collection: VectorCollection,
+        *,
+        num_shards: int = 4,
+        num_hashes: int = 20,
+        num_tables: int = 1,
+        family: Union[str, Type[LSHFamily]] = "cosine",
+        random_state: RandomState = None,
+        **kwargs,
+    ) -> "ShardedMutableIndex":
+        """Bulk-load a collection (ids ``0 … n−1`` in row order)."""
+        index = cls(
+            collection.dimension,
+            num_shards=num_shards,
+            num_hashes=num_hashes,
+            num_tables=num_tables,
+            family=family,
+            random_state=random_state,
+            **kwargs,
+        )
+        index.insert_many(collection.matrix)
+        return index
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    @property
+    def size(self) -> int:
+        """Number of live vectors ``n`` across all shards."""
+        return len(self._live_ids)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, vector_id: int) -> bool:
+        return vector_id in self._live_position
+
+    @property
+    def ids(self) -> np.ndarray:
+        """Live vector ids (arbitrary but stable order, as unsharded)."""
+        return np.asarray(self._live_ids, dtype=np.int64)
+
+    @property
+    def total_pairs(self) -> int:
+        """``M = C(n, 2)`` over all live vectors, cross-shard included."""
+        n = self.size
+        return n * (n - 1) // 2
+
+    @property
+    def num_collision_pairs(self) -> int:
+        """Global ``N_H``: the sum of per-shard counts (buckets are disjoint)."""
+        return sum(shard.num_collision_pairs for shard in self.shards)
+
+    @property
+    def num_non_collision_pairs(self) -> int:
+        """Global ``N_L = M − N_H`` (includes every cross-shard pair)."""
+        return self.total_pairs - self.num_collision_pairs
+
+    @property
+    def primary_table(self) -> _MergedPrimaryView:
+        """Merged view of the ``S`` primary tables (estimator compatibility)."""
+        return _MergedPrimaryView(self)
+
+    def shard_of(self, vector_id: int) -> IndexShard:
+        """The shard holding a live vector."""
+        try:
+            return self.shards[self._shard_of_id[vector_id]]
+        except KeyError:
+            raise ValidationError(f"vector id {vector_id} is not in the index") from None
+
+    def row(self, vector_id: int) -> sparse.csr_matrix:
+        """The stored (raw) vector as a fresh 1×d CSR row."""
+        return self.shard_of(int(vector_id)).index.row(int(vector_id))
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def register_observer(self, observer: object) -> None:
+        """Register ``on_insert`` / ``on_delete`` hooks (as unsharded)."""
+        self._observers.append(observer)
+
+    def unregister_observer(self, observer: object) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _claim_id(self, vector_id: Optional[int]) -> int:
+        vector_id, self._next_id = claim_vector_id(
+            vector_id, self._next_id, self._live_position
+        )
+        return vector_id
+
+    def _track_insert(self, vector_id: int, key: bytes, shard_id: int) -> None:
+        self._shard_of_id[vector_id] = shard_id
+        self._live_position[vector_id] = len(self._live_ids)
+        self._live_ids.append(vector_id)
+        ref = self._bucket_refs.get(key)
+        if ref is None:
+            self._bucket_refs[key] = [1, shard_id]
+        else:
+            ref[0] += 1
+        self._frozen = None
+
+    def insert(self, vector: VectorInput, *, vector_id: Optional[int] = None) -> int:
+        """Route one vector to its owning shard; returns the global id."""
+        row = coerce_row(vector, self.dimension)
+        signatures = [family.hash_matrix(row)[0] for family in self.families]
+        vector_id = self._claim_id(vector_id)
+        key = signature_bucket_key(signatures[0], self.num_hashes)
+        shard_id = self.partitioner(key)
+        self.shards[shard_id].index._insert_prepared(vector_id, row, signatures)
+        self._track_insert(vector_id, key, shard_id)
+        for observer in self._observers:
+            observer.on_insert(vector_id)
+        return vector_id
+
+    def prepare_batch(
+        self,
+        matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection],
+        *,
+        vector_ids: Optional[Sequence[int]] = None,
+        coerced: bool = False,
+    ) -> PreparedBatch:
+        """Coerce, hash (one batch product per table), and route a batch.
+
+        Ids are claimed here; apply the batch with :meth:`commit_batch`.
+        ``coerced=True`` skips re-canonicalisation for input that is
+        canonical by construction (float64 CSR, sorted indices, no
+        explicit zeros, finite) — the router's buffered rows already
+        went through :func:`coerce_row` one by one.
+        """
+        csr = matrix if coerced else coerce_matrix(matrix, self.dimension)
+        num_rows = csr.shape[0]
+        signatures = [family.hash_matrix(csr) for family in self.families]
+        if vector_ids is None:
+            ids = np.arange(self._next_id, self._next_id + num_rows, dtype=np.int64)
+            self._next_id += num_rows
+        else:
+            ids = np.asarray(list(vector_ids), dtype=np.int64)
+            if ids.size != num_rows:
+                raise ValidationError(f"got {ids.size} vector ids for {num_rows} rows")
+            if np.unique(ids).size != ids.size:
+                raise ValidationError("vector ids must be unique within a batch")
+            ids = np.array([self._claim_id(int(i)) for i in ids], dtype=np.int64)
+        primary = np.ascontiguousarray(signatures[0])
+        keys = [primary[position].tobytes() for position in range(num_rows)]
+        shard_ids = self.partitioner.shard_of_signatures(primary)
+        return PreparedBatch(ids=ids, csr=csr, signatures=signatures, keys=keys, shard_ids=shard_ids)
+
+    def commit_batch(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
+        """Apply a prepared batch: shard-grouped ingestion + merge bookkeeping.
+
+        Rows are grouped per shard (arrival order preserved within each
+        group, so bucket member lists match an unsharded build) and fed
+        through :meth:`MutableLSHIndex.insert_many_prepared` — optionally
+        in parallel via ``executor`` (the shard groups touch disjoint
+        state).  Facade bucket bookkeeping follows the original row
+        order, so the merged SampleH layout is unaffected by the
+        grouping; facade observers are notified once the whole batch is
+        live (per-event granularity needs the unbatched :meth:`insert`).
+        """
+        jobs = []
+        for shard in self.shards:
+            rows = np.flatnonzero(batch.shard_ids == shard.shard_id)
+            if rows.size == 0:
+                continue
+            sub_ids = batch.ids[rows]
+            sub_csr = batch.csr[rows]
+            sub_signatures = [table_signatures[rows] for table_signatures in batch.signatures]
+            jobs.append((shard, sub_ids, sub_csr, sub_signatures))
+        if executor is None:
+            for shard, sub_ids, sub_csr, sub_signatures in jobs:
+                shard.index.insert_many_prepared(sub_ids, sub_csr, sub_signatures)
+        else:
+            futures = [
+                executor.submit(
+                    shard.index.insert_many_prepared, sub_ids, sub_csr, sub_signatures
+                )
+                for shard, sub_ids, sub_csr, sub_signatures in jobs
+            ]
+            for future in futures:
+                future.result()
+        for position in range(len(batch)):
+            self._track_insert(
+                int(batch.ids[position]), batch.keys[position], int(batch.shard_ids[position])
+            )
+        for position in range(len(batch)):
+            vector_id = int(batch.ids[position])
+            for observer in self._observers:
+                observer.on_insert(vector_id)
+        return batch.ids
+
+    def insert_many(
+        self,
+        matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection],
+        *,
+        vector_ids: Optional[Sequence[int]] = None,
+        executor=None,
+    ) -> np.ndarray:
+        """Batched ingestion: hash once, scatter rows to their shards."""
+        return self.commit_batch(
+            self.prepare_batch(matrix, vector_ids=vector_ids), executor=executor
+        )
+
+    def delete(self, vector_id: int) -> None:
+        """Remove a live vector from its owning shard."""
+        if vector_id not in self._live_position:
+            raise ValidationError(f"vector id {vector_id} is not in the index")
+        shard_id = self._shard_of_id.pop(vector_id)
+        shard = self.shards[shard_id]
+        key = shard.index.primary_table.signature_key(vector_id)
+        shard.index.delete(vector_id)
+        position = self._live_position.pop(vector_id)
+        last = self._live_ids.pop()
+        if last != vector_id:
+            self._live_ids[position] = last
+            self._live_position[last] = position
+        ref = self._bucket_refs[key]
+        ref[0] -= 1
+        if ref[0] == 0:
+            del self._bucket_refs[key]
+        self._frozen = None
+        for observer in self._observers:
+            observer.on_delete(vector_id)
+
+    # ------------------------------------------------------------------
+    # merged sampling + similarity (the query-side merge layer)
+    # ------------------------------------------------------------------
+    def _frozen_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Global SampleH layout stitched from per-shard buckets.
+
+        Buckets appear in the facade's global key order and carry the
+        owning shard's member lists verbatim, which reproduces the layout
+        of one unsharded table over the same event sequence — the basis
+        of the bit-identical merged estimates.
+        """
+        if self._frozen is None:
+            tables = [shard.index.primary_table for shard in self.shards]
+            self._frozen = freeze_bucket_layout(
+                tables[shard_id].bucket_members_by_key(key)
+                for key, (count, shard_id) in self._bucket_refs.items()
+                if count >= 2
+            )
+        return self._frozen
+
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from the merged stratum H (SampleH)."""
+        if sample_size < 0:
+            raise ValidationError(f"sample_size must be >= 0, got {sample_size}")
+        if sample_size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if self.num_collision_pairs == 0:
+            raise InsufficientSampleError(
+                "stratum H is empty: every LSH bucket contains a single vector"
+            )
+        rng = ensure_rng(random_state)
+        counts, offsets, members_flat, pair_counts = self._frozen_layout()
+        return sample_weighted_bucket_pairs(
+            counts, offsets, members_flat, pair_counts, sample_size, rng
+        )
+
+    def sample_non_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None, max_attempts: int = 64
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform pairs from the merged stratum L via rejection (SampleL)."""
+        if sample_size < 0:
+            raise ValidationError(f"sample_size must be >= 0, got {sample_size}")
+        if sample_size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        if self.num_non_collision_pairs == 0:
+            raise InsufficientSampleError(
+                "stratum L is empty: every pair of vectors shares a bucket"
+            )
+        rng = ensure_rng(random_state)
+        live = self.ids
+        view = self.primary_table
+        lefts: List[np.ndarray] = []
+        rights: List[np.ndarray] = []
+        remaining = sample_size
+        for _attempt in range(max_attempts):
+            batch = max(remaining, 16)
+            left_pos, right_pos = sample_uniform_pairs(live.size, batch, rng)
+            left, right = live[left_pos], live[right_pos]
+            keep = ~view.same_bucket_many(left, right)
+            if keep.any():
+                lefts.append(left[keep][:remaining])
+                rights.append(right[keep][:remaining])
+                remaining -= lefts[-1].size
+            if remaining <= 0:
+                return (
+                    np.concatenate(lefts).astype(np.int64),
+                    np.concatenate(rights).astype(np.int64),
+                )
+        raise InsufficientSampleError(
+            "could not sample enough stratum-L pairs; the LSH table groups "
+            "almost every pair into a single bucket (k is far too small)"
+        )
+
+    def _gather(self, ids: np.ndarray, *, normalized: bool) -> sparse.csr_matrix:
+        """Stack rows living on many shards back into the order of ``ids``."""
+        shard_ids = np.fromiter(
+            (self._shard_of_id.get(int(i), -1) for i in ids), dtype=np.int64, count=ids.size
+        )
+        if shard_ids.size and shard_ids.min() < 0:
+            missing = int(ids[int(np.argmin(shard_ids >= 0))])
+            raise ValidationError(f"vector id {missing} is not in the index")
+
+        def gather_on(shard_id: int, subset: np.ndarray) -> sparse.csr_matrix:
+            store = self.shards[shard_id].index._rows
+            return store.gather_normalized(subset) if normalized else store.gather_raw(subset)
+
+        present = np.unique(shard_ids)
+        if present.size == 1:
+            return gather_on(int(present[0]), ids)
+        parts: List[sparse.csr_matrix] = []
+        order: List[np.ndarray] = []
+        for shard_id in present:
+            rows = np.flatnonzero(shard_ids == shard_id)
+            parts.append(gather_on(int(shard_id), ids[rows]))
+            order.append(rows)
+        stacked = sparse.vstack(parts, format="csr")
+        permutation = np.concatenate(order)
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(permutation.size)
+        return stacked[inverse]
+
+    def _gather_normalized(self, ids: np.ndarray) -> sparse.csr_matrix:
+        return self._gather(ids, normalized=True)
+
+    def cosine_pairs(self, left_ids: Sequence[int], right_ids: Sequence[int]) -> np.ndarray:
+        """Cosine similarities for live ``(left, right)`` id pairs across shards."""
+        left = np.asarray(left_ids, dtype=np.int64)
+        right = np.asarray(right_ids, dtype=np.int64)
+        if left.shape != right.shape:
+            raise ValidationError("left and right id arrays must have the same length")
+        if left.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return pairwise_cosine(self._gather_normalized(left), self._gather_normalized(right))
+
+    # ------------------------------------------------------------------
+    # export / verification
+    # ------------------------------------------------------------------
+    def to_collection(self) -> Tuple[VectorCollection, np.ndarray]:
+        """Materialise all live vectors as one collection (facade id order)."""
+        if not self._live_ids:
+            raise ValidationError("cannot materialise an empty index as a collection")
+        ids = self.ids
+        return VectorCollection(self._gather(ids, normalized=False), copy=False), ids
+
+    def check_invariants(self) -> None:
+        """Verify the merge bookkeeping against the shards (tests aid)."""
+        for shard in self.shards:
+            shard.index.check_invariants()
+        if sum(shard.size for shard in self.shards) != self.size:
+            raise AssertionError("facade live-id count drifted from the shards")
+        for key, (count, shard_id) in self._bucket_refs.items():
+            members = self.shards[shard_id].index.primary_table.bucket_members_by_key(key)
+            if len(members) != count:
+                raise AssertionError("bucket reference counts drifted from the shards")
+        total_buckets = sum(shard.index.primary_table.num_buckets for shard in self.shards)
+        if total_buckets != len(self._bucket_refs):
+            raise AssertionError("bucket key registry drifted from the shards")
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (checkpointing + rebalancing substrate)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """A picklable checkpoint of the facade and every shard."""
+        return {
+            "format": 1,
+            "kind": "sharded",
+            "dimension": self.dimension,
+            "num_hashes": self.num_hashes,
+            "num_tables": self.num_tables,
+            "num_shards": self.num_shards,
+            "next_id": self._next_id,
+            "live_ids": list(self._live_ids),
+            "shard_of": [self._shard_of_id[i] for i in self._live_ids],
+            "bucket_refs": [
+                (key, count, shard_id)
+                for key, (count, shard_id) in self._bucket_refs.items()
+            ],
+            "shard_estimators": self._shard_estimators,
+            "estimator_kwargs": self._estimator_kwargs,
+            "shards": [shard.index.to_state() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping[str, object], *, estimator_seed: RandomState = None
+    ) -> "ShardedMutableIndex":
+        """Rebuild a sharded index from :meth:`to_state` output.
+
+        Per-shard estimators are recreated fresh (reservoirs are redrawn
+        by construction; they are samples, not state that must survive).
+        Their generators are spawned from ``estimator_seed`` — fresh
+        entropy by default, so independently restored replicas draw
+        independent reservoir samples; pass a seed for reproducibility.
+        """
+        if state.get("format") != 1 or state.get("kind") != "sharded":
+            raise ValidationError("not a sharded-index snapshot")
+        sharded = cls.__new__(cls)
+        sharded.dimension = int(state["dimension"])
+        sharded.num_hashes = int(state["num_hashes"])
+        sharded.num_tables = int(state["num_tables"])
+        sharded.partitioner = KeyPartitioner(int(state["num_shards"]))
+        sharded._shard_estimators = bool(state["shard_estimators"])
+        sharded._estimator_kwargs = dict(state["estimator_kwargs"])
+        estimator_rngs = spawn(ensure_rng(estimator_seed), int(state["num_shards"]))
+        sharded.shards = []
+        for shard_id, shard_state in enumerate(state["shards"]):
+            index = MutableLSHIndex.from_state(shard_state)
+            estimator = None
+            if sharded._shard_estimators:
+                estimator = StreamingEstimator(
+                    index, random_state=estimator_rngs[shard_id], **sharded._estimator_kwargs
+                )
+            sharded.shards.append(IndexShard(shard_id, index, estimator))
+        sharded.families = sharded.shards[0].index.families if sharded.shards else []
+        sharded._live_ids = [int(i) for i in state["live_ids"]]
+        sharded._live_position = {
+            vector_id: position for position, vector_id in enumerate(sharded._live_ids)
+        }
+        sharded._shard_of_id = {
+            int(vector_id): int(shard_id)
+            for vector_id, shard_id in zip(state["live_ids"], state["shard_of"])
+        }
+        sharded._bucket_refs = {
+            bytes(key): [int(count), int(shard_id)]
+            for key, count, shard_id in state["bucket_refs"]
+        }
+        sharded._next_id = int(state["next_id"])
+        sharded._observers = []
+        sharded._frozen = None
+        return sharded
+
+    def snapshot(self, path: Union[str, Path]) -> None:
+        """Serialise the whole cluster state to one file."""
+        with open(path, "wb") as handle:
+            pickle.dump(self.to_state(), handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(
+        cls, path: Union[str, Path], *, estimator_seed: RandomState = None
+    ) -> "ShardedMutableIndex":
+        """Revive a cluster from a :meth:`snapshot` file."""
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+        return cls.from_state(state, estimator_seed=estimator_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ShardedMutableIndex(n={self.size}, shards={self.num_shards}, "
+            f"d={self.dimension}, k={self.num_hashes})"
+        )
+
+
+__all__ = ["IndexShard", "PreparedBatch", "ShardedMutableIndex"]

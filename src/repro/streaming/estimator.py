@@ -223,6 +223,25 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         """Detach from the index: no further mutations repair this estimator."""
         self.index.unregister_observer(self)
 
+    def _reservoir(self, stratum: str) -> _PairReservoir:
+        if stratum not in ("h", "l"):
+            raise ValidationError(f"stratum must be 'h' or 'l', got {stratum!r}")
+        return self._reservoir_h if stratum == "h" else self._reservoir_l
+
+    def reservoir_pairs(self, stratum: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Current reservoir contents for stratum ``"h"`` / ``"l"``.
+
+        The sharded merge layer (:mod:`repro.shard.merge`) pools these
+        per-shard samples — weighted by the per-shard strata sizes — into
+        one global estimate without touching any bucket at query time.
+        """
+        return self._reservoir(stratum).arrays()
+
+    def reservoir_usable(self, stratum: str) -> bool:
+        """Whether the stratum's reservoir holds pairs and is not degraded."""
+        reservoir = self._reservoir(stratum)
+        return len(reservoir) > 0 and not reservoir.degraded
+
     # ------------------------------------------------------------------
     # estimator interface
     # ------------------------------------------------------------------

@@ -126,6 +126,35 @@ class ChangeLog:
         return sum(1 for e in self.events if not isinstance(e, Checkpoint))
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(
+        cls,
+        collection,
+        *,
+        checkpoint_every: int = 0,
+        label_format: str = "after-{count}",
+    ) -> "ChangeLog":
+        """Build a pure-insert log from a collection (row order = id order).
+
+        With ``checkpoint_every > 0`` a checkpoint is appended after every
+        that many inserts (and at the end).  Used by benchmarks and the
+        shard CLI to turn a static corpus into a replayable stream.
+        """
+        if checkpoint_every < 0:
+            raise ValidationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        log = cls()
+        for row in range(collection.size):
+            log.append(Insert(collection.row_dict(row)))
+            count = row + 1
+            if checkpoint_every and count % checkpoint_every == 0:
+                log.append(Checkpoint(label_format.format(count=count)))
+        if checkpoint_every and collection.size % checkpoint_every != 0:
+            log.append(Checkpoint(label_format.format(count=collection.size)))
+        return log
+
+    # ------------------------------------------------------------------
     def replay(
         self,
         index,

@@ -14,19 +14,28 @@ the streaming estimators:
   batch build — never changes, so a surviving pair never migrates between
   stratum H and stratum L; mutations only add or remove pairs.
 * :class:`MutableLSHIndex` — ``ℓ`` mutable tables over one growing /
-  shrinking set of vectors, with stable sequential ids, per-pair cosine
-  evaluation, and the SampleH / SampleL primitives the LSH-SS kernels
-  need (:class:`repro.streaming.estimator.StreamingEstimator` builds on
-  these).
+  shrinking set of vectors, with stable sequential ids (or caller-assigned
+  ids, the substrate of the sharded deployment in :mod:`repro.shard`),
+  pooled row storage (:class:`~repro.streaming.rowstore.RowStore`) for
+  fast per-pair cosine evaluation, and the SampleH / SampleL primitives
+  the LSH-SS kernels need
+  (:class:`repro.streaming.estimator.StreamingEstimator` builds on these).
 
 Because signatures are deterministic given the family seed, replaying a
 :class:`~repro.streaming.events.ChangeLog` through a mutable index yields
 exactly the strata sizes (``N_H`` / ``N_L``) a fresh batch build over the
 final collection would produce.
+
+Indexes can be checkpointed with :meth:`MutableLSHIndex.snapshot` and
+revived with :meth:`MutableLSHIndex.restore`: the snapshot serialises the
+rows, the bucket layout (including dict iteration order, so sampling
+draws replay identically), and the hash families themselves.
 """
 
 from __future__ import annotations
 
+import pickle
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
@@ -37,9 +46,110 @@ from repro.lsh.families import LSHFamily
 from repro.lsh.index import resolve_family
 from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
 from repro.rng import RandomState, ensure_rng, spawn
+from repro.streaming.rowstore import _MAX_ID, RowStore, pairwise_cosine
 from repro.vectors.collection import VectorCollection
 
 VectorInput = Union[Mapping[int, float], Sequence[float], np.ndarray, sparse.spmatrix]
+
+#: Per-table bucket layout in dict iteration order: ``[(key, [member, …]), …]``.
+BucketState = List[Tuple[bytes, List[int]]]
+
+
+def coerce_row(vector: VectorInput, dimension: int) -> sparse.csr_matrix:
+    """Canonicalise one input vector into a fresh 1×``dimension`` CSR row.
+
+    Shared by :meth:`MutableLSHIndex.insert` and the shard router, so a
+    vector routed through a :class:`repro.shard.ShardedMutableIndex` is
+    stored bit-for-bit as a direct insert would store it.
+    """
+    if isinstance(vector, Mapping):
+        indices = np.asarray([int(i) for i in vector.keys()], dtype=np.int64)
+        values = np.asarray([float(v) for v in vector.values()], dtype=np.float64)
+        if indices.size and (indices.min() < 0 or indices.max() >= dimension):
+            raise ValidationError(
+                f"vector indices must lie in [0, {dimension}), got "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        row = sparse.csr_matrix(
+            (values, (np.zeros(indices.size, dtype=np.int64), indices)),
+            shape=(1, dimension),
+            dtype=np.float64,
+        )
+    elif sparse.issparse(vector):
+        # always copy: the row is canonicalised in place and stored, and
+        # must never alias (or mutate) the caller's matrix
+        row = vector.tocsr().astype(np.float64, copy=True)
+    else:
+        dense = np.asarray(vector, dtype=np.float64)
+        if dense.ndim == 1:
+            dense = dense[None, :]
+        row = sparse.csr_matrix(dense)
+    if row.shape[0] != 1 or row.shape[1] != dimension:
+        raise ValidationError(
+            f"expected one vector of dimension {dimension}, got shape {row.shape}"
+        )
+    if not np.all(np.isfinite(row.data)):
+        raise ValidationError("vector values must be finite (no NaN / inf)")
+    row.eliminate_zeros()
+    row.sort_indices()
+    return row
+
+
+def coerce_matrix(
+    matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection], dimension: int
+) -> sparse.csr_matrix:
+    """Canonicalise a whole input matrix the way :func:`coerce_row` does rows.
+
+    Canonicalisation happens BEFORE hashing: families that hash the
+    support (e.g. MinHash) must see the same rows ``insert`` / a fresh
+    batch build would, or explicit stored zeros would change signatures.
+    """
+    if isinstance(matrix, VectorCollection):
+        matrix = matrix.matrix
+    if not sparse.issparse(matrix):
+        matrix = sparse.csr_matrix(np.atleast_2d(np.asarray(matrix, dtype=np.float64)))
+    csr = matrix.tocsr().astype(np.float64)
+    if csr.shape[1] != dimension:
+        raise ValidationError(
+            f"matrix dimension {csr.shape[1]} does not match index dimension {dimension}"
+        )
+    if not np.all(np.isfinite(csr.data)):
+        raise ValidationError("vector values must be finite (no NaN / inf)")
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    return csr
+
+
+def claim_vector_id(
+    vector_id: Optional[int], next_id: int, live_position: Mapping[int, int]
+) -> Tuple[int, int]:
+    """Validate / assign one vector id; returns ``(vector_id, new_next_id)``.
+
+    Shared by :class:`MutableLSHIndex` and the sharded facade so both
+    enforce the same id policy: non-negative, below the row store's id
+    space, and never currently live.
+    """
+    if vector_id is None:
+        vector_id = next_id
+    else:
+        vector_id = int(vector_id)
+        if not 0 <= vector_id < _MAX_ID:
+            raise ValidationError(
+                f"vector ids must lie in [0, {_MAX_ID}), got {vector_id}"
+            )
+        if vector_id in live_position:
+            raise ValidationError(f"vector id {vector_id} is already in the index")
+    return vector_id, max(next_id, vector_id + 1)
+
+
+def signature_bucket_key(signature: np.ndarray, num_hashes: int) -> bytes:
+    """Serialise a ``(k,)`` signature into the bucket key used by the tables."""
+    row = np.ascontiguousarray(np.asarray(signature, dtype=np.int64).ravel())
+    if row.size != num_hashes:
+        raise ValidationError(
+            f"signature has {row.size} values, expected k={num_hashes}"
+        )
+    return row.tobytes()
 
 
 class MutableLSHTable:
@@ -125,6 +235,17 @@ class MutableLSHTable:
             count=len(left),
         )
 
+    def bucket_members_by_key(self, key: bytes) -> List[int]:
+        """The member list of the bucket keyed by ``key`` (do not mutate).
+
+        Used by the sharded merge layer to stitch per-shard buckets into
+        one global SampleH layout without copying through an accessor.
+        """
+        try:
+            return self._members[key]
+        except KeyError:
+            raise ValidationError("no bucket with the given signature key") from None
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -136,12 +257,7 @@ class MutableLSHTable:
         """
         if vector_id in self._key_of:
             raise ValidationError(f"vector id {vector_id} is already in the table")
-        row = np.ascontiguousarray(np.asarray(signature, dtype=np.int64).ravel())
-        if row.size != self.num_hashes:
-            raise ValidationError(
-                f"signature has {row.size} values, expected k={self.num_hashes}"
-            )
-        key = row.tobytes()
+        key = signature_bucket_key(signature, self.num_hashes)
         bucket = self._members.setdefault(key, [])
         new_pairs = len(bucket)
         self._position[vector_id] = len(bucket)
@@ -174,21 +290,11 @@ class MutableLSHTable:
     def _frozen_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """CSR-style (counts, offsets, members_flat, pair_counts) over buckets with ≥ 2 members."""
         if self._frozen is None:
-            arrays = [
-                np.asarray(members, dtype=np.int64)
+            self._frozen = freeze_bucket_layout(
+                members
                 for members in self._members.values()
                 if len(members) >= 2
-            ]
-            if arrays:
-                counts = np.asarray([a.size for a in arrays], dtype=np.int64)
-                members_flat = np.concatenate(arrays)
-            else:
-                counts = np.zeros(0, dtype=np.int64)
-                members_flat = np.zeros(0, dtype=np.int64)
-            offsets = np.zeros(counts.size + 1, dtype=np.int64)
-            np.cumsum(counts, out=offsets[1:])
-            pair_counts = counts * (counts - 1) // 2
-            self._frozen = (counts, offsets, members_flat, pair_counts)
+            )
         return self._frozen
 
     def sample_collision_pairs(
@@ -210,6 +316,38 @@ class MutableLSHTable:
             counts, offsets, members_flat, pair_counts, sample_size, rng
         )
 
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def bucket_state(self) -> BucketState:
+        """The bucket layout in dict iteration order (snapshot substrate).
+
+        Preserving the iteration order matters: the SampleH layout is
+        derived from it, so a restored table replays the same draws the
+        original would for the same generator state.
+        """
+        return [(key, list(members)) for key, members in self._members.items()]
+
+    def load_bucket_state(self, buckets: BucketState) -> None:
+        """Replace the bucket layout with a previously captured state."""
+        self._key_of = {}
+        self._members = {}
+        self._position = {}
+        self._num_collision_pairs = 0
+        self._frozen = None
+        for key, members in buckets:
+            bucket = list(int(member) for member in members)
+            self._members[bytes(key)] = bucket
+            for position, vector_id in enumerate(bucket):
+                if vector_id in self._key_of:
+                    raise ValidationError(
+                        f"bucket state repeats vector id {vector_id}"
+                    )
+                self._key_of[vector_id] = bytes(key)
+                self._position[vector_id] = position
+            size = len(bucket)
+            self._num_collision_pairs += size * (size - 1) // 2
+
     def check_invariants(self) -> None:
         """Verify the incremental bookkeeping against a from-scratch recount."""
         sizes = self.bucket_sizes
@@ -227,6 +365,26 @@ class MutableLSHTable:
             f"MutableLSHTable(n={self.num_vectors}, k={self.num_hashes}, "
             f"buckets={self.num_buckets}, NH={self.num_collision_pairs})"
         )
+
+
+def freeze_bucket_layout(buckets) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten an iterable of member lists into the SampleH CSR layout.
+
+    Shared by :class:`MutableLSHTable` and the sharded merge layer
+    (:mod:`repro.shard`), which feeds buckets gathered from many shards —
+    identical inputs produce identical layouts, hence identical draws.
+    """
+    arrays = [np.asarray(members, dtype=np.int64) for members in buckets]
+    if arrays:
+        counts = np.asarray([a.size for a in arrays], dtype=np.int64)
+        members_flat = np.concatenate(arrays)
+    else:
+        counts = np.zeros(0, dtype=np.int64)
+        members_flat = np.zeros(0, dtype=np.int64)
+    offsets = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    pair_counts = counts * (counts - 1) // 2
+    return counts, offsets, members_flat, pair_counts
 
 
 class MutableLSHIndex:
@@ -248,10 +406,17 @@ class MutableLSHIndex:
         Seed / generator; the ``ℓ`` tables receive independent child
         generators exactly as in the static :class:`~repro.lsh.index.LSHIndex`,
         so the same seed produces the same hash functions.
+    families:
+        Pre-built family instances, one per table (advanced).  The shard
+        layer passes the *same* instances to every shard so all shards
+        hash identically; ``family`` / ``random_state`` are ignored when
+        given.
 
     Ids are assigned sequentially from 0 in insertion order and are never
     reused, so a :class:`~repro.streaming.events.ChangeLog` recorded
-    against one index replays identically onto a fresh one.
+    against one index replays identically onto a fresh one.  A caller may
+    instead assign its own ids (``insert(vector, vector_id=…)``) — the
+    shard router uses this to keep *global* ids inside per-shard indexes.
     """
 
     def __init__(
@@ -262,6 +427,7 @@ class MutableLSHIndex:
         num_tables: int = 1,
         family: Union[str, Type[LSHFamily]] = "cosine",
         random_state: RandomState = None,
+        families: Optional[Sequence[LSHFamily]] = None,
     ):
         if num_tables < 1:
             raise ValidationError(f"num_tables (ℓ) must be >= 1, got {num_tables}")
@@ -270,15 +436,31 @@ class MutableLSHIndex:
         self.dimension = int(dimension)
         self.num_hashes = int(num_hashes)
         self.num_tables = int(num_tables)
-        family_class = resolve_family(family)
-        rng = ensure_rng(random_state)
-        self.tables: List[MutableLSHTable] = []
-        for child in spawn(rng, num_tables):
-            family_instance = family_class(self.num_hashes, random_state=child)
-            family_instance.ensure_initialised(self.dimension)
-            self.tables.append(MutableLSHTable(family_instance))
-        self._rows: Dict[int, sparse.csr_matrix] = {}
-        self._normalized_rows: Dict[int, sparse.csr_matrix] = {}
+        if families is not None:
+            families = list(families)
+            if len(families) != self.num_tables:
+                raise ValidationError(
+                    f"got {len(families)} families for {self.num_tables} tables"
+                )
+            for family_instance in families:
+                if family_instance.num_hashes != self.num_hashes:
+                    raise ValidationError(
+                        "family has k="
+                        f"{family_instance.num_hashes}, index expects k={self.num_hashes}"
+                    )
+                family_instance.ensure_initialised(self.dimension)
+            self.tables: List[MutableLSHTable] = [
+                MutableLSHTable(family_instance) for family_instance in families
+            ]
+        else:
+            family_class = resolve_family(family)
+            rng = ensure_rng(random_state)
+            self.tables = []
+            for child in spawn(rng, num_tables):
+                family_instance = family_class(self.num_hashes, random_state=child)
+                family_instance.ensure_initialised(self.dimension)
+                self.tables.append(MutableLSHTable(family_instance))
+        self._rows = RowStore(self.dimension)
         self._live_ids: List[int] = []
         self._live_position: Dict[int, int] = {}
         self._next_id = 0
@@ -309,6 +491,11 @@ class MutableLSHIndex:
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
+    @property
+    def families(self) -> List[LSHFamily]:
+        """The ``ℓ`` family instances, one per table."""
+        return [table.family for table in self.tables]
+
     @property
     def size(self) -> int:
         """Number of live vectors ``n``."""
@@ -346,6 +533,10 @@ class MutableLSHIndex:
         """``N_L = M − N_H`` of the primary table."""
         return self.total_pairs - self.num_collision_pairs
 
+    def row(self, vector_id: int) -> sparse.csr_matrix:
+        """The stored (raw) vector as a fresh 1×d CSR row."""
+        return self._rows.gather_raw([vector_id])
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -369,87 +560,99 @@ class MutableLSHIndex:
             pass
 
     def _coerce_row(self, vector: VectorInput) -> sparse.csr_matrix:
-        if isinstance(vector, Mapping):
-            indices = np.asarray([int(i) for i in vector.keys()], dtype=np.int64)
-            values = np.asarray([float(v) for v in vector.values()], dtype=np.float64)
-            if indices.size and (indices.min() < 0 or indices.max() >= self.dimension):
-                raise ValidationError(
-                    f"vector indices must lie in [0, {self.dimension}), got "
-                    f"[{indices.min()}, {indices.max()}]"
-                )
-            row = sparse.csr_matrix(
-                (values, (np.zeros(indices.size, dtype=np.int64), indices)),
-                shape=(1, self.dimension),
-                dtype=np.float64,
-            )
-        elif sparse.issparse(vector):
-            # always copy: the row is canonicalised in place and stored, and
-            # must never alias (or mutate) the caller's matrix
-            row = vector.tocsr().astype(np.float64, copy=True)
-        else:
-            dense = np.asarray(vector, dtype=np.float64)
-            if dense.ndim == 1:
-                dense = dense[None, :]
-            row = sparse.csr_matrix(dense)
-        if row.shape[0] != 1 or row.shape[1] != self.dimension:
-            raise ValidationError(
-                f"expected one vector of dimension {self.dimension}, got shape {row.shape}"
-            )
-        if not np.all(np.isfinite(row.data)):
-            raise ValidationError("vector values must be finite (no NaN / inf)")
-        row.eliminate_zeros()
-        row.sort_indices()
-        return row
+        return coerce_row(vector, self.dimension)
 
-    def insert(self, vector: VectorInput) -> int:
-        """Insert one vector; returns its newly assigned id."""
+    def _claim_id(self, vector_id: Optional[int]) -> int:
+        vector_id, self._next_id = claim_vector_id(
+            vector_id, self._next_id, self._live_position
+        )
+        return vector_id
+
+    def insert(self, vector: VectorInput, *, vector_id: Optional[int] = None) -> int:
+        """Insert one vector; returns its id (assigned sequentially unless given).
+
+        Caller-assigned ids must be fresh (never live before) and
+        dense-ish — they index the row store's slot map directly, which
+        is what the shard router relies on with its sequential global
+        ids.
+        """
         row = self._coerce_row(vector)
-        vector_id = self._next_id
-        self._next_id += 1
-        self._rows[vector_id] = row
+        signatures = [table.family.hash_matrix(row)[0] for table in self.tables]
+        return self._insert_prepared(vector_id, row, signatures)
+
+    def _insert_prepared(
+        self,
+        vector_id: Optional[int],
+        row: sparse.csr_matrix,
+        signatures: Sequence[np.ndarray],
+    ) -> int:
+        """Insert one already-coerced, already-hashed row (router fast path)."""
+        vector_id = self._claim_id(vector_id)
+        self._rows.add(vector_id, row)
         self._live_position[vector_id] = len(self._live_ids)
         self._live_ids.append(vector_id)
-        for table in self.tables:
-            table.insert(vector_id, table.family.hash_matrix(row)[0])
+        for table, signature in zip(self.tables, signatures):
+            table.insert(vector_id, signature)
         for observer in self._observers:
             observer.on_insert(vector_id)
         return vector_id
 
-    def insert_many(self, matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection]) -> np.ndarray:
+    def insert_many(
+        self,
+        matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection],
+        *,
+        vector_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
         """Insert every row of a matrix / collection; returns the assigned ids.
 
         Signatures are computed in one batch matrix product per table —
         the same cost profile as a static build — while the bucket
         insertions remain incremental.
         """
-        if isinstance(matrix, VectorCollection):
-            matrix = matrix.matrix
-        if not sparse.issparse(matrix):
-            matrix = sparse.csr_matrix(np.atleast_2d(np.asarray(matrix, dtype=np.float64)))
-        csr = matrix.tocsr().astype(np.float64)
-        if csr.shape[1] != self.dimension:
-            raise ValidationError(
-                f"matrix dimension {csr.shape[1]} does not match index dimension {self.dimension}"
-            )
-        if not np.all(np.isfinite(csr.data)):
-            raise ValidationError("vector values must be finite (no NaN / inf)")
-        # Canonicalise BEFORE hashing: families that hash the support (e.g.
-        # MinHash) must see the same rows `insert` / a fresh batch build would,
-        # or explicit stored zeros would change the signatures.
-        csr.eliminate_zeros()
-        csr.sort_indices()
+        csr = coerce_matrix(matrix, self.dimension)
         signatures = [table.family.hash_matrix(csr) for table in self.tables]
-        ids = np.empty(csr.shape[0], dtype=np.int64)
-        for position in range(csr.shape[0]):
-            row = csr.getrow(position)
-            vector_id = self._next_id
-            self._next_id += 1
-            self._rows[vector_id] = row
+        return self.insert_many_prepared(vector_ids, csr, signatures)
+
+    def insert_many_prepared(
+        self,
+        vector_ids: Optional[Sequence[int]],
+        csr: sparse.csr_matrix,
+        signatures: Sequence[np.ndarray],
+    ) -> np.ndarray:
+        """Bulk-insert already-coerced rows with precomputed signatures.
+
+        This is the shard ingestion fast path: the router hashes a whole
+        batch once, partitions rows by bucket key, and each shard applies
+        its slice here — rows are pooled in one append, bucket insertions
+        and observer notifications stay per-row (so estimator staleness
+        accounting sees the same intermediate sizes a loop of ``insert``
+        calls would produce).
+        """
+        num_rows = csr.shape[0]
+        if vector_ids is None:
+            ids = np.arange(self._next_id, self._next_id + num_rows, dtype=np.int64)
+        else:
+            ids = np.asarray(list(vector_ids), dtype=np.int64)
+            if ids.size != num_rows:
+                raise ValidationError(
+                    f"got {ids.size} vector ids for {num_rows} rows"
+                )
+            if np.unique(ids).size != ids.size:
+                raise ValidationError("vector ids must be unique within a batch")
+            for vector_id in ids:
+                claim_vector_id(int(vector_id), self._next_id, self._live_position)
+        # add_many validates the whole batch (range, duplicates) before
+        # mutating, so a bad batch leaves the index untouched; only then
+        # is _next_id advanced
+        self._rows.add_many(ids, csr)
+        if num_rows:
+            self._next_id = max(self._next_id, int(ids.max()) + 1)
+        for position in range(num_rows):
+            vector_id = int(ids[position])
             self._live_position[vector_id] = len(self._live_ids)
             self._live_ids.append(vector_id)
             for table, table_signatures in zip(self.tables, signatures):
                 table.insert(vector_id, table_signatures[position])
-            ids[position] = vector_id
             for observer in self._observers:
                 observer.on_insert(vector_id)
         return ids
@@ -465,39 +668,29 @@ class MutableLSHIndex:
         if last != vector_id:
             self._live_ids[position] = last
             self._live_position[last] = position
-        del self._rows[vector_id]
-        self._normalized_rows.pop(vector_id, None)
+        self._rows.remove(vector_id)
         for observer in self._observers:
             observer.on_delete(vector_id)
 
     # ------------------------------------------------------------------
     # similarity + sampling primitives
     # ------------------------------------------------------------------
-    def _normalized_row(self, vector_id: int) -> sparse.csr_matrix:
-        """L2-normalised row, computed lazily and cached (queries pay, updates don't)."""
-        row = self._normalized_rows.get(vector_id)
-        if row is None:
-            try:
-                raw = self._rows[vector_id]
-            except KeyError:
-                raise ValidationError(f"vector id {vector_id} is not in the index") from None
-            norm = float(np.sqrt(raw.multiply(raw).sum()))
-            row = raw * (1.0 / norm) if norm > 0.0 else raw
-            self._normalized_rows[vector_id] = row
-        return row
-
     def cosine_pairs(self, left_ids: Sequence[int], right_ids: Sequence[int]) -> np.ndarray:
-        """Cosine similarities for many live ``(left, right)`` id pairs."""
+        """Cosine similarities for many live ``(left, right)`` id pairs.
+
+        Served from the pooled row store: one vectorised gather per side
+        instead of a per-row ``vstack``, with inverse norms cached lazily
+        (queries pay for normalisation once per row, updates never do).
+        """
         left = np.asarray(left_ids, dtype=np.int64)
         right = np.asarray(right_ids, dtype=np.int64)
         if left.shape != right.shape:
             raise ValidationError("left and right id arrays must have the same length")
         if left.size == 0:
             return np.zeros(0, dtype=np.float64)
-        rows_left = sparse.vstack([self._normalized_row(int(i)) for i in left], format="csr")
-        rows_right = sparse.vstack([self._normalized_row(int(i)) for i in right], format="csr")
-        products = rows_left.multiply(rows_right).sum(axis=1)
-        return np.clip(np.asarray(products).ravel(), -1.0, 1.0)
+        rows_left = self._rows.gather_normalized(left)
+        rows_right = self._rows.gather_normalized(right)
+        return pairwise_cosine(rows_left, rows_right)
 
     def sample_collision_pairs(
         self, sample_size: int, *, random_state: RandomState = None
@@ -556,8 +749,67 @@ class MutableLSHIndex:
         if not self._live_ids:
             raise ValidationError("cannot materialise an empty index as a collection")
         ids = self.ids
-        stacked = sparse.vstack([self._rows[int(i)] for i in ids], format="csr")
+        stacked = self._rows.gather_raw(ids)
         return VectorCollection(stacked, copy=False), ids
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """A picklable checkpoint: rows, bucket layouts, and hash families.
+
+        Bucket dict iteration order and the live-id order are both
+        preserved, so a restored index produces the same sampling draws
+        the original would for the same generator state — a shard can be
+        checkpointed on one node and revived on another without
+        disturbing the merged estimate.
+        """
+        return {
+            "format": 1,
+            "dimension": self.dimension,
+            "num_hashes": self.num_hashes,
+            "num_tables": self.num_tables,
+            "next_id": self._next_id,
+            "live_ids": list(self._live_ids),
+            "rows": self._rows.state(),
+            "families": self.families,
+            "tables": [table.bucket_state() for table in self.tables],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "MutableLSHIndex":
+        """Rebuild an index from :meth:`to_state` output (no re-hashing)."""
+        if state.get("format") != 1:
+            raise ValidationError(
+                f"unsupported snapshot format {state.get('format')!r}"
+            )
+        index = cls(
+            int(state["dimension"]),
+            num_hashes=int(state["num_hashes"]),
+            num_tables=int(state["num_tables"]),
+            families=state["families"],
+        )
+        index._rows = RowStore.from_state(state["rows"])
+        index._live_ids = [int(i) for i in state["live_ids"]]
+        index._live_position = {
+            vector_id: position for position, vector_id in enumerate(index._live_ids)
+        }
+        index._next_id = int(state["next_id"])
+        for table, buckets in zip(index.tables, state["tables"]):
+            table.load_bucket_state(buckets)
+        return index
+
+    def snapshot(self, path: Union[str, Path]) -> None:
+        """Serialise the index to ``path`` (buckets + rows + families)."""
+        with open(path, "wb") as handle:
+            pickle.dump(self.to_state(), handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, path: Union[str, Path]) -> "MutableLSHIndex":
+        """Revive an index from a :meth:`snapshot` file."""
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+        return cls.from_state(state)
 
     def check_invariants(self) -> None:
         """Verify bookkeeping across all tables (tests / debugging aid)."""
@@ -569,8 +821,9 @@ class MutableLSHIndex:
                 )
         if len(self._rows) != self.size:
             raise AssertionError("row storage drifted from live-id bookkeeping")
-        if not set(self._normalized_rows).issubset(self._rows):
-            raise AssertionError("normalised-row cache holds deleted vectors")
+        if set(self._rows) != set(self._live_position):
+            raise AssertionError("row storage holds a different id set than the index")
+        self._rows.check_invariants()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
@@ -579,4 +832,11 @@ class MutableLSHIndex:
         )
 
 
-__all__ = ["MutableLSHTable", "MutableLSHIndex"]
+__all__ = [
+    "MutableLSHTable",
+    "MutableLSHIndex",
+    "coerce_row",
+    "coerce_matrix",
+    "signature_bucket_key",
+    "freeze_bucket_layout",
+]

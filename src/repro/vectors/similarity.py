@@ -8,7 +8,7 @@ substrate.  All functions accept either dense 1-D arrays, sparse rows, or
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Optional, Sequence, Set, Union
 
 import numpy as np
 from scipy import sparse

@@ -171,3 +171,57 @@ class TestStreamCommand:
         log = self._write_log(tmp_path / "events.jsonl", num_vectors=5)
         exit_code = main(["stream", "--events", str(log), "--batch-size", "0"])
         assert exit_code == 2
+
+
+class TestShardCommand:
+    _write_log = staticmethod(TestStreamCommand._write_log)
+
+    def test_shard_command_output(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl")
+        exit_code = main(
+            ["shard", "--events", str(log), "--shards", "3", "--threshold", "0.7",
+             "--batch-size", "20", "--num-hashes", "6", "--seed", "3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "3 shards" in captured.out
+        assert "per-shard n" in captured.out
+        assert "done" in captured.out          # checkpoint label appears
+        assert "batch of 20" in captured.out   # batch boundary emission
+
+    def test_shard_exact_mode_matches_unsharded_strata(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        exit_code = main(
+            ["shard", "--events", str(log), "--mode", "exact", "--num-hashes", "6"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mode=exact" in captured.out
+
+    def test_shard_snapshot_written(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        snapshot = tmp_path / "cluster.pkl"
+        exit_code = main(
+            ["shard", "--events", str(log), "--num-hashes", "6",
+             "--snapshot", str(snapshot)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        assert snapshot.exists()
+        from repro.shard import ShardedMutableIndex
+
+        revived = ShardedMutableIndex.restore(snapshot)
+        revived.check_invariants()
+
+    def test_shard_missing_file(self, capsys, tmp_path):
+        exit_code = main(["shard", "--events", str(tmp_path / "nope.jsonl")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err
+
+    def test_shard_sparse_log_requires_dimension(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", dense=False)
+        exit_code = main(["shard", "--events", str(log), "--num-hashes", "6"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "dimension" in captured.err

@@ -16,7 +16,7 @@ from repro.errors import ValidationError
 from repro.join import exact_join_size
 from repro.lsh import LSHTable, SignRandomProjectionFamily
 from repro.rng import ensure_rng
-from repro.vectors import VectorCollection, cosine_pairs
+from repro.vectors import VectorCollection
 
 
 class TestDefaults:

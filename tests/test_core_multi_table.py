@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import LSHSSEstimator, MedianEstimator, VirtualBucketEstimator
-from repro.errors import ValidationError
-from repro.lsh import LSHIndex
 
 
 class TestMedianEstimator:

@@ -1,6 +1,5 @@
 """Tests for the empirical stratum probabilities (Tables 1 and 2)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ValidationError

@@ -1,6 +1,5 @@
 """Tests for the experiment runner and the report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.core import LSHSSEstimator, RandomPairSampling

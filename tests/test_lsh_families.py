@@ -147,3 +147,62 @@ class TestHashMatrixCanonicalisation:
             family.hash_matrix(stored), family.hash_matrix(canonical)
         )
         assert stored.nnz == 3  # caller's matrix untouched
+
+
+class TestMinHashBlockedArithmetic:
+    """The vectorised blocked-Mersenne path must equal exact arithmetic."""
+
+    def test_matches_object_dtype_reference(self):
+        from scipy import sparse
+
+        from repro.lsh.families import _MERSENNE_PRIME
+
+        rng = np.random.default_rng(11)
+        for k, (rows, dimension, density) in zip(
+            (4, 16, 33), ((40, 25, 0.3), (120, 800, 0.02), (8, 5, 0.6))
+        ):
+            matrix = sparse.random(rows, dimension, density=density,
+                                   random_state=rng, format="csr")
+            matrix.data[:] = 1.0
+            family = MinHashFamily(k, random_state=int(k))
+            family.ensure_initialised(dimension)
+            fast = family._hash_matrix(matrix)
+            a = family._coefficients_a.astype(object)
+            b = family._coefficients_b.astype(object)
+            expected = np.full((rows, k), _MERSENNE_PRIME, dtype=np.int64)
+            for row in range(rows):
+                support = matrix.indices[matrix.indptr[row]:matrix.indptr[row + 1]]
+                if support.size == 0:
+                    continue
+                hashed = (support.astype(object)[:, None] * a[None, :]
+                          + b[None, :]) % _MERSENNE_PRIME
+                expected[row] = np.min(hashed.astype(np.int64), axis=0)
+            np.testing.assert_array_equal(fast, expected)
+
+    def test_blocking_boundary_independence(self):
+        """Signatures must not depend on how rows are split into blocks."""
+        from scipy import sparse
+
+        import repro.lsh.families as families_module
+
+        rng = np.random.default_rng(5)
+        matrix = sparse.random(60, 40, density=0.25, random_state=rng, format="csr")
+        matrix.data[:] = 1.0
+        family = MinHashFamily(6, random_state=3)
+        family.ensure_initialised(40)
+        full = family._hash_matrix(matrix)
+        original = families_module._MINHASH_BLOCK_ELEMENTS
+        try:
+            families_module._MINHASH_BLOCK_ELEMENTS = 7  # force tiny blocks
+            tiny_blocks = family._hash_matrix(matrix)
+        finally:
+            families_module._MINHASH_BLOCK_ELEMENTS = original
+        np.testing.assert_array_equal(full, tiny_blocks)
+
+    def test_oversized_dimension_rejected(self):
+        from scipy import sparse
+
+        family = MinHashFamily(4, random_state=0)
+        family.ensure_initialised(1 << 31)
+        with pytest.raises(ValidationError):
+            family._hash_matrix(sparse.csr_matrix((1, 1 << 31)))

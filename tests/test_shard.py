@@ -1,0 +1,431 @@
+"""Tests for the sharded scale-out subsystem (repro.shard)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.shard import (
+    KeyPartitioner,
+    MergedStrata,
+    ShardedMutableIndex,
+    ShardedStreamingEstimator,
+    ShardRouter,
+    merge_strata,
+)
+from repro.shard.partition import signature_shard_hash
+from repro.streaming import (
+    ChangeLog,
+    Checkpoint,
+    Delete,
+    Insert,
+    MutableLSHIndex,
+    StreamingEstimator,
+)
+from repro.vectors import VectorCollection
+
+SEED = 19
+NUM_HASHES = 10
+
+
+def _churn_log(collection, operations, *, seed=42, checkpoint=False) -> ChangeLog:
+    rng = np.random.default_rng(seed)
+    log = ChangeLog()
+    live, next_id = [], 0
+    for _ in range(operations):
+        if live and rng.random() < 0.3:
+            victim = int(rng.choice(live))
+            live.remove(victim)
+            log.append(Delete(victim))
+        else:
+            log.append(Insert(collection.row_dict(int(rng.integers(0, collection.size)))))
+            live.append(next_id)
+            next_id += 1
+    if checkpoint:
+        log.append(Checkpoint("end"))
+    return log
+
+
+@pytest.fixture(scope="module")
+def churned_pair(small_collection):
+    """(unsharded index, sharded S=4 index) fed the same 400-op churn log."""
+    log = _churn_log(small_collection, 400)
+    unsharded = MutableLSHIndex(
+        small_collection.dimension, num_hashes=NUM_HASHES, random_state=SEED
+    )
+    log.replay(unsharded)
+    sharded = ShardedMutableIndex(
+        small_collection.dimension, num_shards=4, num_hashes=NUM_HASHES, random_state=SEED
+    )
+    with ShardRouter(sharded, batch_size=32) as router:
+        router.replay(log)
+    return unsharded, sharded
+
+
+class TestKeyPartitioner:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            KeyPartitioner(0)
+
+    def test_single_shard_is_constant(self):
+        partitioner = KeyPartitioner(1)
+        assert partitioner(b"\x01" * 16) == 0
+
+    def test_key_and_signature_paths_agree(self):
+        partitioner = KeyPartitioner(7)
+        rng = np.random.default_rng(0)
+        signatures = rng.integers(0, 2, size=(50, 12)).astype(np.int64)
+        batch = partitioner.shard_of_signatures(signatures)
+        for position in range(signatures.shape[0]):
+            key = np.ascontiguousarray(signatures[position]).tobytes()
+            assert partitioner.shard_of(key) == batch[position]
+
+    def test_deterministic_and_spread(self):
+        partitioner = KeyPartitioner(4)
+        rng = np.random.default_rng(1)
+        signatures = rng.integers(0, 2, size=(2000, 16)).astype(np.int64)
+        first = partitioner.shard_of_signatures(signatures)
+        second = partitioner.shard_of_signatures(signatures)
+        np.testing.assert_array_equal(first, second)
+        counts = np.bincount(first, minlength=4)
+        # 0/1-valued SimHash signatures must still spread across shards
+        assert counts.min() > 0.15 * signatures.shape[0]
+
+    def test_hash_handles_1d_and_2d(self):
+        one = signature_shard_hash(np.array([1, 0, 1], dtype=np.int64))
+        two = signature_shard_hash(np.array([[1, 0, 1], [0, 1, 1]], dtype=np.int64))
+        assert one.shape == (1,)
+        assert two.shape == (2,)
+        assert one[0] == two[0]          # same row → same hash
+        assert two[0] != two[1]          # differing rows must split
+
+
+class TestShardedMutableIndex:
+    def test_strata_match_unsharded(self, churned_pair):
+        unsharded, sharded = churned_pair
+        sharded.check_invariants()
+        assert sharded.size == unsharded.size
+        assert sharded.num_collision_pairs == unsharded.num_collision_pairs
+        assert sharded.num_non_collision_pairs == unsharded.num_non_collision_pairs
+        assert sorted(sharded.ids.tolist()) == sorted(unsharded.ids.tolist())
+
+    def test_live_id_order_matches_unsharded(self, churned_pair):
+        unsharded, sharded = churned_pair
+        np.testing.assert_array_equal(sharded.ids, unsharded.ids)
+
+    def test_cosine_pairs_match_unsharded(self, churned_pair, rng):
+        unsharded, sharded = churned_pair
+        ids = unsharded.ids
+        left = ids[rng.integers(0, ids.size, size=64)]
+        right = ids[rng.integers(0, ids.size, size=64)]
+        np.testing.assert_array_equal(
+            sharded.cosine_pairs(left, right), unsharded.cosine_pairs(left, right)
+        )
+
+    def test_sampling_bit_identical_to_unsharded(self, churned_pair):
+        unsharded, sharded = churned_pair
+        for seed in (0, 7):
+            u_left, u_right = unsharded.sample_collision_pairs(128, random_state=seed)
+            s_left, s_right = sharded.sample_collision_pairs(128, random_state=seed)
+            np.testing.assert_array_equal(s_left, u_left)
+            np.testing.assert_array_equal(s_right, u_right)
+            u_left, u_right = unsharded.sample_non_collision_pairs(128, random_state=seed)
+            s_left, s_right = sharded.sample_non_collision_pairs(128, random_state=seed)
+            np.testing.assert_array_equal(s_left, u_left)
+            np.testing.assert_array_equal(s_right, u_right)
+
+    def test_facade_streaming_estimator_bit_identical(self, small_collection):
+        """A plain StreamingEstimator over the facade — reservoirs and all —
+        tracks the unsharded one bit for bit through churn."""
+        log = _churn_log(small_collection, 250, seed=5)
+        unsharded = MutableLSHIndex(
+            small_collection.dimension, num_hashes=NUM_HASHES, random_state=SEED
+        )
+        reference = StreamingEstimator(unsharded, random_state=7)
+        log.replay(unsharded)
+        sharded = ShardedMutableIndex(
+            small_collection.dimension,
+            num_shards=3,
+            num_hashes=NUM_HASHES,
+            random_state=SEED,
+            shard_estimators=False,
+        )
+        facade_estimator = StreamingEstimator(sharded, random_state=7)
+        log.replay(sharded)  # the facade is a drop-in index for replay
+        for mode in ("auto", "exact", "reservoir"):
+            ours = facade_estimator.estimate(0.7, random_state=123, mode=mode)
+            theirs = reference.estimate(0.7, random_state=123, mode=mode)
+            assert ours.value == theirs.value
+
+    def test_to_collection_matches_unsharded(self, churned_pair):
+        unsharded, sharded = churned_pair
+        u_coll, u_ids = unsharded.to_collection()
+        s_coll, s_ids = sharded.to_collection()
+        np.testing.assert_array_equal(s_ids, u_ids)
+        assert (u_coll.matrix != s_coll.matrix).nnz == 0
+
+    def test_insert_validation(self):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        with pytest.raises(ValidationError):
+            index.insert([1.0, 2.0])  # wrong dimension
+        vector_id = index.insert([1.0, 0.0, 0.0, 1.0])
+        with pytest.raises(ValidationError):
+            index.insert([0.0, 1.0, 0.0, 0.0], vector_id=vector_id)
+        with pytest.raises(ValidationError):
+            index.delete(vector_id + 1)
+        index.delete(vector_id)
+        assert index.size == 0
+
+    def test_row_and_contains(self):
+        index = ShardedMutableIndex(3, num_shards=2, num_hashes=4, random_state=0)
+        vector_id = index.insert({0: 2.0, 2: 1.0})
+        assert vector_id in index
+        row = index.row(vector_id)
+        assert row.shape == (1, 3)
+        assert row[0, 0] == 2.0
+        with pytest.raises(ValidationError):
+            index.row(99)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            ShardedMutableIndex(0, num_shards=2)
+        with pytest.raises(ValidationError):
+            ShardedMutableIndex(4, num_shards=0)
+
+
+class TestShardRouter:
+    def test_async_matches_sync(self, small_collection):
+        log = _churn_log(small_collection, 300, seed=9)
+        results = []
+        for workers in (0, 4):
+            sharded = ShardedMutableIndex(
+                small_collection.dimension,
+                num_shards=4,
+                num_hashes=NUM_HASHES,
+                random_state=SEED,
+            )
+            with ShardRouter(sharded, batch_size=25, max_workers=workers) as router:
+                router.replay(log)
+            estimate = ShardedStreamingEstimator(sharded).estimate(
+                0.7, random_state=3, mode="exact"
+            )
+            results.append((sharded.num_collision_pairs, sharded.size, estimate.value))
+        assert results[0] == results[1]
+
+    def test_delete_of_buffered_insert_flushes_first(self):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        router = ShardRouter(index, batch_size=100)
+        router.insert([1.0, 0.0, 0.0, 0.0])
+        router.insert([0.0, 1.0, 0.0, 0.0])
+        assert router.pending == 2 and index.size == 0
+        router.delete(0)  # targets a still-buffered row
+        assert router.pending == 0 and index.size == 1
+        router.close()
+
+    def test_replay_emits_at_checkpoints(self, small_collection):
+        log = _churn_log(small_collection, 120, seed=3, checkpoint=True)
+        sharded = ShardedMutableIndex(
+            small_collection.dimension, num_shards=2, num_hashes=NUM_HASHES, random_state=SEED
+        )
+        estimator = ShardedStreamingEstimator(sharded)
+        with ShardRouter(sharded, batch_size=50) as router:
+            results = router.replay(log, estimator=estimator, threshold=0.7, random_state=1)
+        assert [label for label, _ in results] == ["end"]
+        assert results[0][1].value >= 0.0
+
+    def test_validation(self):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        with pytest.raises(ValidationError):
+            ShardRouter(index, batch_size=0)
+        with pytest.raises(ValidationError):
+            ShardRouter(index, max_workers=-1)
+
+
+class TestMergeLayer:
+    def test_merged_strata_identities(self, churned_pair):
+        _, sharded = churned_pair
+        strata = merge_strata(sharded)
+        assert isinstance(strata, MergedStrata)
+        assert strata.num_collision_pairs == sum(strata.shard_collision_pairs)
+        assert (
+            strata.num_collision_pairs + strata.num_non_collision_pairs
+            == strata.total_pairs
+        )
+        intra_l = sum(strata.shard_intra_non_collision_pairs)
+        assert strata.num_non_collision_pairs == intra_l + strata.cross_shard_pairs
+        assert strata.cross_shard_pairs >= 0
+
+    def test_exact_mode_bit_identical(self, churned_pair):
+        unsharded, sharded = churned_pair
+        reference = StreamingEstimator(unsharded, random_state=0)
+        estimator = ShardedStreamingEstimator(sharded)
+        for seed in (1, 99):
+            ours = estimator.estimate(0.7, random_state=seed, mode="exact")
+            theirs = reference.estimate(0.7, random_state=seed, mode="exact")
+            assert ours.value == theirs.value
+            assert ours.details["num_collision_pairs"] == theirs.details["num_collision_pairs"]
+
+    def test_merged_mode_samples_valid_strata(self, churned_pair):
+        _, sharded = churned_pair
+        estimator = ShardedStreamingEstimator(sharded)
+        view = sharded.primary_table
+        strata = merge_strata(sharded)
+        source_h = estimator._merged_source_h(strata)
+        source_l = estimator._merged_source_l(strata)
+        rng = np.random.default_rng(0)
+        left, right = source_h(200, rng)
+        assert np.all(view.same_bucket_many(left, right))
+        assert np.all(left != right)
+        left, right = source_l(200, rng)
+        assert not np.any(view.same_bucket_many(left, right))
+
+    def test_merged_mode_estimates_reasonable(self, small_collection):
+        """Pooled-reservoir estimates agree with the exact path's scale.
+
+        Per-shard reservoirs are enlarged and refreshed so the comparison
+        measures the merge arithmetic, not one stale reservoir draw."""
+        log = _churn_log(small_collection, 400)
+        sharded = ShardedMutableIndex(
+            small_collection.dimension,
+            num_shards=4,
+            num_hashes=NUM_HASHES,
+            random_state=SEED,
+            estimator_kwargs={"reservoir_size": 2048},
+        )
+        with ShardRouter(sharded, batch_size=32) as router:
+            router.replay(log)
+        for shard in sharded.shards:
+            shard.estimator.refresh()
+        estimator = ShardedStreamingEstimator(sharded)
+        threshold = 0.5
+        # medians: SampleL's adaptive scale-up is heavy-tailed under
+        # with-replacement reservoir draws, exactly as in unsharded
+        # reservoir mode — the merge layer must not shift the location
+        merged = np.median(
+            [estimator.estimate(threshold, random_state=s, mode="merged").value
+             for s in range(15)]
+        )
+        exact = np.median(
+            [estimator.estimate(threshold, random_state=s, mode="exact").value
+             for s in range(15)]
+        )
+        assert merged == pytest.approx(exact, rel=0.5)
+
+    def test_parameter_validation(self, churned_pair):
+        _, sharded = churned_pair
+        with pytest.raises(ValidationError):
+            ShardedStreamingEstimator(sharded, sample_size_h=0)
+        with pytest.raises(ValidationError):
+            ShardedStreamingEstimator(sharded, dampening=2.0)
+        estimator = ShardedStreamingEstimator(sharded)
+        with pytest.raises(ValidationError):
+            estimator.estimate(0.7, mode="telepathy")
+
+    def test_empty_cluster_estimates_zero(self):
+        sharded = ShardedMutableIndex(4, num_shards=3, num_hashes=4, random_state=0)
+        estimator = ShardedStreamingEstimator(sharded)
+        assert estimator.estimate(0.5, random_state=0).value == 0.0
+
+
+class TestSnapshotRestore:
+    def test_mutable_index_round_trip(self, small_collection, tmp_path):
+        index = MutableLSHIndex.from_collection(
+            small_collection, num_hashes=NUM_HASHES, num_tables=2, random_state=SEED
+        )
+        index.delete(3)
+        index.insert(small_collection.row(1))
+        path = tmp_path / "index.pkl"
+        index.snapshot(path)
+        revived = MutableLSHIndex.restore(path)
+        revived.check_invariants()
+        assert revived.size == index.size
+        assert revived.num_collision_pairs == index.num_collision_pairs
+        # identical sampling draws and similarities after restore
+        left, right = index.sample_collision_pairs(64, random_state=5)
+        r_left, r_right = revived.sample_collision_pairs(64, random_state=5)
+        np.testing.assert_array_equal(r_left, left)
+        np.testing.assert_array_equal(r_right, right)
+        np.testing.assert_array_equal(
+            revived.cosine_pairs(left, right), index.cosine_pairs(left, right)
+        )
+        # restored index accepts further mutations with fresh ids
+        new_id = revived.insert(small_collection.row(0))
+        assert new_id == index._next_id
+
+    def test_sharded_round_trip(self, churned_pair, tmp_path):
+        _, sharded = churned_pair
+        path = tmp_path / "cluster.pkl"
+        sharded.snapshot(path)
+        revived = ShardedMutableIndex.restore(path)
+        revived.check_invariants()
+        assert revived.num_shards == sharded.num_shards
+        assert revived.num_collision_pairs == sharded.num_collision_pairs
+        original = ShardedStreamingEstimator(sharded).estimate(
+            0.7, random_state=42, mode="exact"
+        )
+        restored = ShardedStreamingEstimator(revived).estimate(
+            0.7, random_state=42, mode="exact"
+        )
+        assert restored.value == original.value
+
+    def test_bad_snapshot_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            MutableLSHIndex.from_state({"format": 99})
+        with pytest.raises(ValidationError):
+            ShardedMutableIndex.from_state({"format": 1, "kind": "plain"})
+
+
+class TestShardMergePropertyBased:
+    """Hypothesis acceptance property: any event sequence replayed through a
+    ShardRouter over S shards yields the same strata counts and the same
+    (bit-identical) exact estimate as one unsharded MutableLSHIndex."""
+
+    POOL_SEED = 77
+
+    @staticmethod
+    def _pool() -> VectorCollection:
+        rng = np.random.default_rng(TestShardMergePropertyBased.POOL_SEED)
+        dense = (rng.random((30, 8)) < 0.4) * rng.random((30, 8))
+        dense[0] = dense[1]  # guarantee at least one colliding pair
+        dense[dense.sum(axis=1) == 0.0, 0] = 1.0
+        return VectorCollection.from_dense(dense)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=40),
+        st.sampled_from([1, 2, 7]),
+    )
+    def test_any_op_sequence_matches_unsharded(self, ops, num_shards):
+        pool = self._pool()
+        log = ChangeLog()
+        live = []
+        next_id = 0
+        for op in ops:
+            if live and op % 3 == 0:
+                log.append(Delete(live.pop(op % len(live))))
+            else:
+                log.append(Insert(pool.row_dict(op % pool.size)))
+                live.append(next_id)
+                next_id += 1
+        unsharded = MutableLSHIndex(pool.dimension, num_hashes=6, random_state=13)
+        log.replay(unsharded)
+        sharded = ShardedMutableIndex(
+            pool.dimension, num_shards=num_shards, num_hashes=6, random_state=13
+        )
+        with ShardRouter(sharded, batch_size=7) as router:
+            router.replay(log)
+        sharded.check_invariants()
+        assert sharded.size == unsharded.size
+        assert sharded.num_collision_pairs == unsharded.num_collision_pairs
+        assert sharded.num_non_collision_pairs == unsharded.num_non_collision_pairs
+        if sharded.size == 0:
+            assert ShardedStreamingEstimator(sharded).estimate(0.5).value == 0.0
+            return
+        ours = ShardedStreamingEstimator(sharded).estimate(
+            0.5, random_state=1, mode="exact"
+        )
+        theirs = StreamingEstimator(unsharded, random_state=5).estimate(
+            0.5, random_state=1, mode="exact"
+        )
+        assert ours.value == theirs.value

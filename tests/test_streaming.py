@@ -514,3 +514,144 @@ class TestReviewRegressions:
         tiny = MutableLSHIndex(4, num_hashes=4, random_state=0)
         tiny_estimator = StreamingEstimator(tiny, random_state=0)
         assert tiny_estimator.estimate(0.5, mode="reservoir").value == 0.0
+
+
+class TestRowStore:
+    """Unit tests for the pooled row store behind MutableLSHIndex."""
+
+    @staticmethod
+    def _store_with(rows):
+        from repro.streaming.rowstore import RowStore
+
+        store = RowStore(rows.shape[1])
+        matrix = sparse.csr_matrix(np.asarray(rows, dtype=np.float64))
+        matrix.sort_indices()
+        store.add_many(range(matrix.shape[0]), matrix)
+        return store
+
+    def test_gather_round_trips_rows(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [0.0, 0.0, 0.0]])
+        store = self._store_with(dense)
+        gathered = store.gather_raw([2, 0, 1])
+        np.testing.assert_allclose(gathered.toarray(), dense[[2, 0, 1]])
+
+    def test_gather_normalized_matches_manual(self):
+        dense = np.array([[3.0, 4.0, 0.0], [0.0, 0.0, 2.0]])
+        store = self._store_with(dense)
+        normalized = store.gather_normalized([0, 1]).toarray()
+        np.testing.assert_allclose(normalized[0], [0.6, 0.8, 0.0])
+        np.testing.assert_allclose(normalized[1], [0.0, 0.0, 1.0])
+
+    def test_zero_row_keeps_unit_scale(self):
+        dense = np.array([[0.0, 0.0], [1.0, 0.0]])
+        store = self._store_with(dense)
+        assert store.inv_norm(0) == 1.0
+        np.testing.assert_allclose(store.gather_normalized([0]).toarray(), [[0.0, 0.0]])
+
+    def test_missing_and_duplicate_ids_rejected(self):
+        from repro.streaming.rowstore import RowStore
+
+        store = self._store_with(np.eye(3))
+        with pytest.raises(ValidationError):
+            store.gather_raw([5])
+        with pytest.raises(ValidationError):
+            store.add(0, sparse.csr_matrix(np.array([[1.0, 0.0, 0.0]])))
+        with pytest.raises(ValidationError):
+            store.remove(42)
+        with pytest.raises(ValidationError):
+            RowStore(0)
+
+    def test_slot_reuse_and_compaction_under_churn(self):
+        from repro.streaming.rowstore import RowStore
+
+        rng = np.random.default_rng(0)
+        store = RowStore(16)
+        reference = {}
+        next_id = 0
+        for _ in range(3000):
+            if reference and rng.random() < 0.45:
+                victim = int(rng.choice(list(reference)))
+                store.remove(victim)
+                del reference[victim]
+            else:
+                row = (rng.random(16) < 0.3) * rng.random(16)
+                store.add(next_id, sparse.csr_matrix(row[None, :]))
+                reference[next_id] = row
+                next_id += 1
+            store.check_invariants()
+        assert len(store) == len(reference)
+        ids = sorted(reference)
+        gathered = store.gather_raw(ids).toarray()
+        np.testing.assert_allclose(gathered, np.array([reference[i] for i in ids]))
+
+    def test_state_round_trip(self):
+        store = self._store_with(np.array([[1.0, 0.0], [0.0, 2.5]]))
+        store.remove(0)
+        from repro.streaming.rowstore import RowStore
+
+        revived = RowStore.from_state(store.state())
+        revived.check_invariants()
+        assert list(revived.ids()) == [1]
+        np.testing.assert_allclose(revived.gather_raw([1]).toarray(), [[0.0, 2.5]])
+
+    def test_add_many_length_mismatch_rejected(self):
+        from repro.streaming.rowstore import RowStore
+
+        store = RowStore(2)
+        with pytest.raises(ValidationError):
+            store.add_many([0, 1, 2], sparse.csr_matrix(np.eye(2)))
+
+
+class TestExternalIdsAndSnapshot:
+    def test_insert_with_explicit_ids(self, tiny_collection):
+        index = MutableLSHIndex(4, num_hashes=4, random_state=0)
+        assert index.insert(tiny_collection.row(0), vector_id=10) == 10
+        assert index.insert(tiny_collection.row(1)) == 11  # next id follows
+        with pytest.raises(ValidationError):
+            index.insert(tiny_collection.row(2), vector_id=10)
+        with pytest.raises(ValidationError):
+            index.insert(tiny_collection.row(2), vector_id=-1)
+        ids = index.insert_many(
+            tiny_collection.matrix[2:4], vector_ids=[20, 30]
+        )
+        assert ids.tolist() == [20, 30]
+        with pytest.raises(ValidationError):
+            index.insert_many(tiny_collection.matrix[2:4], vector_ids=[40, 40])
+
+    def test_failed_batch_leaves_index_untouched(self, tiny_collection):
+        """A rejected insert_many batch must not corrupt the index (review
+        regression: ids beyond the id space used to half-apply)."""
+        from repro.streaming.rowstore import _MAX_ID
+
+        index = MutableLSHIndex(4, num_hashes=4, random_state=0)
+        index.insert(tiny_collection.row(0))
+        with pytest.raises(ValidationError):
+            index.insert_many(tiny_collection.matrix[1:3], vector_ids=[5, _MAX_ID])
+        with pytest.raises(ValidationError):
+            index.insert(tiny_collection.row(1), vector_id=_MAX_ID + 7)
+        index.check_invariants()
+        assert index.size == 1
+        assert index.insert(tiny_collection.row(1)) == 1  # next id not poisoned
+
+    def test_snapshot_preserves_estimates(self, small_collection, tmp_path):
+        index = MutableLSHIndex.from_collection(
+            small_collection, num_hashes=12, random_state=19
+        )
+        rng = np.random.default_rng(1)
+        live = list(range(small_collection.size))
+        for _ in range(80):
+            if rng.random() < 0.5 and len(live) > 2:
+                index.delete(live.pop(int(rng.integers(0, len(live)))))
+            else:
+                live.append(index.insert(small_collection.row(int(rng.integers(0, 100)))))
+        path = tmp_path / "index.pkl"
+        index.snapshot(path)
+        revived = MutableLSHIndex.restore(path)
+        revived.check_invariants()
+        original = StreamingEstimator(index, random_state=0).estimate(
+            0.7, random_state=9, mode="exact"
+        )
+        restored = StreamingEstimator(revived, random_state=0).estimate(
+            0.7, random_state=9, mode="exact"
+        )
+        assert restored.value == original.value
