@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.evaluation.report import format_table, records_to_markdown, series_table
 from repro.evaluation.runner import SweepRecord
+from repro.streaming import ChangeLog, Delete, Insert
 
 
 def emit(
@@ -50,4 +53,27 @@ def accuracy_series(records: Sequence[SweepRecord], title: str) -> str:
     return series_table(records, title=title) + "\n\n" + records_to_markdown(records)
 
 
-__all__ = ["emit", "accuracy_series", "format_table"]
+def churn_log(collection, operations: int, *, seed: int) -> ChangeLog:
+    """The canonical insert/delete churn stream the scale-out gates replay.
+
+    ~30% deletes of a random live id, the rest inserts of random corpus
+    rows, ids assigned sequentially (mirrors the tests'
+    ``churn_log_factory`` fixture).
+    """
+    rng = np.random.default_rng(seed)
+    log = ChangeLog()
+    live: List[int] = []
+    next_id = 0
+    for _ in range(operations):
+        if live and rng.random() < 0.3:
+            victim = int(rng.choice(live))
+            live.remove(victim)
+            log.append(Delete(victim))
+        else:
+            log.append(Insert(collection.row_dict(int(rng.integers(0, collection.size)))))
+            live.append(next_id)
+            next_id += 1
+    return log
+
+
+__all__ = ["emit", "accuracy_series", "format_table", "churn_log"]

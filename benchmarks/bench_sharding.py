@@ -31,9 +31,9 @@ from typing import List, Tuple
 
 import numpy as np
 
-from benchmarks._helpers import emit, format_table
+from benchmarks._helpers import churn_log, emit, format_table
 from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
-from repro.streaming import ChangeLog, Delete, Insert, MutableLSHIndex, StreamingEstimator
+from repro.streaming import MutableLSHIndex, StreamingEstimator
 from repro.vectors import cosine_pairs as static_cosine_pairs
 
 NUM_HASHES = 16
@@ -201,26 +201,9 @@ def test_mutable_query_cost_vs_static(benchmark, dblp_collection, results_dir):
     assert ratio <= 2.0, f"mutable-path queries {ratio:.2f}x the static path"
 
 
-def _churn_log(collection, operations: int) -> ChangeLog:
-    rng = np.random.default_rng(SEED)
-    log = ChangeLog()
-    live: List[int] = []
-    next_id = 0
-    for _ in range(operations):
-        if live and rng.random() < 0.3:
-            victim = int(rng.choice(live))
-            live.remove(victim)
-            log.append(Delete(victim))
-        else:
-            log.append(Insert(collection.row_dict(int(rng.integers(0, collection.size)))))
-            live.append(next_id)
-            next_id += 1
-    return log
-
-
 def test_sharded_estimates_bit_identical(dblp_collection, results_dir):
     """Gate 3: merged exact estimates == unsharded estimates, bit for bit."""
-    log = _churn_log(dblp_collection, 600)
+    log = churn_log(dblp_collection, 600, seed=SEED)
     unsharded = MutableLSHIndex(
         dblp_collection.dimension, num_hashes=NUM_HASHES, random_state=SEED
     )

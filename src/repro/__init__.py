@@ -85,10 +85,13 @@ from repro.evaluation import (
 )
 from repro.shard import (
     KeyPartitioner,
+    RebalancePlan,
+    RendezvousPartitioner,
     ShardedMutableIndex,
     ShardedStreamingEstimator,
     ShardRouter,
     merge_strata,
+    rebalance_cluster,
 )
 from repro.streaming import (
     ChangeLog,
@@ -171,8 +174,12 @@ __all__ = [
     "Checkpoint",
     # sharding
     "KeyPartitioner",
+    "RendezvousPartitioner",
     "ShardedMutableIndex",
     "ShardRouter",
     "ShardedStreamingEstimator",
     "merge_strata",
+    # rebalancing
+    "RebalancePlan",
+    "rebalance_cluster",
 ]

@@ -27,6 +27,10 @@ Sub-commands
     over S bucket-key-partitioned shards, printing merged LSH-SS
     estimates (router → shards → merge) and the per-shard strata; the
     final cluster state can be checkpointed with ``--snapshot``.
+``rebalance``
+    Resize and/or re-partition a checkpointed cluster with minimal key
+    movement (``repro.shard.rebalance``); without ``--output`` it is a
+    dry run that only prints the migration plan.
 """
 
 from __future__ import annotations
@@ -152,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="merge path: pooled per-shard reservoirs (auto/merged) "
                             "or merged-layout stratified sampling (exact, "
                             "bit-identical to the unsharded estimator)")
+    shard.add_argument("--partitioner", choices=("modulo", "rendezvous"), default="modulo",
+                       help="bucket-key → shard assignment; rendezvous enables "
+                            "minimal-movement resizes via 'repro rebalance' "
+                            "(default: modulo)")
     shard.add_argument("--workers", type=int, default=None,
                        help="ingest worker threads (default: one per shard)")
     shard.add_argument("--snapshot", default=None,
@@ -159,6 +167,25 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--num-hashes", type=int, default=20,
                        help="hash functions per LSH table, k (default: 20)")
     shard.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="resize / re-partition a checkpointed sharded cluster",
+    )
+    rebalance.add_argument("--snapshot", required=True,
+                           help="cluster snapshot written by 'repro shard --snapshot'")
+    rebalance.add_argument("--shards", type=int, default=None,
+                           help="target shard count S' (default: keep the current S)")
+    rebalance.add_argument("--partitioner", choices=("modulo", "rendezvous"), default=None,
+                           help="target partitioner (default: keep the snapshot's; "
+                                "rendezvous moves only ~1/S' of the keys on a resize)")
+    rebalance.add_argument("--output", default=None,
+                           help="write the rebalanced cluster snapshot here; omitted "
+                                "= dry run, print the migration plan only")
+    rebalance.add_argument("--threshold", type=float, default=None,
+                           help="optionally print a merged exact-mode estimate at τ "
+                                "before and after the rebalance")
+    rebalance.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
     return parser
 
 
@@ -332,11 +359,13 @@ def _command_shard(args: argparse.Namespace) -> str:
         num_shards=args.shards,
         num_hashes=args.num_hashes,
         random_state=args.seed + 1,
+        partitioner=args.partitioner,
         # the exact path never reads reservoirs: skip per-shard repair work
         shard_estimators=args.mode != "exact",
     )
-    estimator = ShardedStreamingEstimator(index)
     router = ShardRouter(index, batch_size=args.batch_size, max_workers=args.workers)
+    # the router-aware estimator flushes buffered inserts before estimating
+    estimator = ShardedStreamingEstimator(index, router=router)
 
     rows = []
     inserts = deletes = pending = 0
@@ -382,7 +411,8 @@ def _command_shard(args: argparse.Namespace) -> str:
         index.snapshot(args.snapshot)
     summary = (
         f"Sharded streaming estimates — {args.events}: {inserts} inserts, "
-        f"{deletes} deletes over {args.shards} shards, τ={args.threshold}, "
+        f"{deletes} deletes over {args.shards} shards "
+        f"({args.partitioner} partitioner), τ={args.threshold}, "
         f"k={args.num_hashes}, mode={args.mode}"
         + (f"; snapshot → {args.snapshot}" if args.snapshot else "")
     )
@@ -392,6 +422,68 @@ def _command_shard(args: argparse.Namespace) -> str:
         rows,
         float_format="{:.1f}",
         title=summary,
+    )
+
+
+def _command_rebalance(args: argparse.Namespace) -> str:
+    from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator
+    from repro.shard.rebalance import plan_rebalance, rebalance_cluster
+
+    if not Path(args.snapshot).is_file():
+        raise ValidationError(f"cluster snapshot not found: {args.snapshot}")
+    cluster = ShardedMutableIndex.restore(args.snapshot)
+    current_shards = cluster.num_shards
+    current_kind = cluster.partitioner.kind
+    target_shards = current_shards if args.shards is None else args.shards
+    target_kind = current_kind if args.partitioner is None else args.partitioner
+    sizes_before = [shard.size for shard in cluster.shards]
+    estimate_before = estimate_after = None
+    if args.threshold is not None:
+        estimate_before = ShardedStreamingEstimator(cluster).estimate(
+            args.threshold, random_state=args.seed, mode="exact"
+        )
+    if args.output is None:
+        # dry run: plan against the target assignment without touching state
+        from repro.shard.partition import resolve_partitioner
+
+        if target_shards > current_shards:
+            cluster.add_shards(target_shards, estimator_seed=args.seed)
+        plan = plan_rebalance(cluster, resolve_partitioner(target_kind, target_shards))
+        applied = "dry run — no state was changed (pass --output to apply)"
+        sizes_after = None
+    else:
+        plan = rebalance_cluster(
+            cluster,
+            num_shards=target_shards,
+            partitioner=target_kind,
+            estimator_seed=args.seed,
+        )
+        cluster.check_invariants()
+        sizes_after = [shard.size for shard in cluster.shards]
+        if args.threshold is not None:
+            estimate_after = ShardedStreamingEstimator(cluster).estimate(
+                args.threshold, random_state=args.seed, mode="exact"
+            )
+        cluster.snapshot(args.output)
+        applied = f"rebalanced cluster written to {args.output}"
+    rows = [
+        ["shards", current_shards, target_shards],
+        ["partitioner", current_kind, target_kind],
+        ["bucket keys", plan.total_keys, plan.total_keys],
+        ["keys moved", "", plan.moved_keys],
+        ["moved fraction", "", f"{plan.moved_fraction:.4f}"],
+        ["vectors moved", "", plan.moved_vectors if args.output else "(dry run)"],
+    ]
+    if sizes_after is not None:
+        rows.append(["per-shard n", "/".join(map(str, sizes_before)),
+                     "/".join(map(str, sizes_after))])
+    if estimate_before is not None:
+        after_value = estimate_after.value if estimate_after is not None else "(dry run)"
+        rows.append([f"exact J(τ={args.threshold})", estimate_before.value, after_value])
+    return format_table(
+        ["", "before", "after"],
+        rows,
+        title=f"Rebalance — {args.snapshot}: {applied}",
     )
 
 
@@ -408,6 +500,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_stream(args)
         elif args.command == "shard":
             output = _command_shard(args)
+        elif args.command == "rebalance":
+            output = _command_rebalance(args)
         else:
             output = _command_probabilities(args)
     except ReproError as error:

@@ -67,4 +67,35 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
 
 
-__all__ = ["RandomState", "ensure_rng", "spawn", "derive_seed"]
+def generator_state(rng: np.random.Generator) -> dict:
+    """A picklable snapshot of a generator's exact position in its stream.
+
+    Together with :func:`generator_from_state` this lets stateful
+    components (e.g. the streaming estimator's reservoir maintenance)
+    checkpoint and resume *bit-identically*: every draw after a restore
+    equals the draw the original generator would have produced.
+    """
+    return dict(rng.bit_generator.state)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator from :func:`generator_state` output."""
+    from repro.errors import ValidationError
+
+    name = state.get("bit_generator")
+    bit_generator_class = getattr(np.random, str(name), None)
+    if bit_generator_class is None:
+        raise ValidationError(f"unknown bit generator {name!r} in generator state")
+    bit_generator = bit_generator_class()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn",
+    "derive_seed",
+    "generator_state",
+    "generator_from_state",
+]

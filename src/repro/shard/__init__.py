@@ -4,10 +4,11 @@ The LSH-SS strata statistics are additive across disjoint bucket-key
 partitions, which makes the PR-1 streaming subsystem shardable without
 approximation:
 
-* :mod:`~repro.shard.partition` — :class:`KeyPartitioner`, the stable
-  bucket-key → shard assignment (a vectorised splitmix64/FNV content
-  hash of the signature values; identical from key bytes or signature
-  matrices).
+* :mod:`~repro.shard.partition` — the stable bucket-key → shard
+  assignments (a vectorised splitmix64/FNV content hash of the
+  signature values; identical from key bytes or signature matrices):
+  :class:`KeyPartitioner` (modulo) and :class:`RendezvousPartitioner`
+  (highest-random-weight, minimal key movement under resizes).
 * :mod:`~repro.shard.sharded_index` — :class:`ShardedMutableIndex`, ``S``
   shards (each a :class:`~repro.streaming.mutable_index.MutableLSHIndex`
   plus an optional locally repaired
@@ -22,15 +23,33 @@ approximation:
   ``N_L`` counts and reservoirs into one LSH-SS estimate; the exact mode
   is bit-identical (same seed) to an unsharded estimator over the same
   event sequence.
+* :mod:`~repro.shard.rebalance` — online key-range migration over the
+  snapshot/restore substrate: :func:`plan_rebalance` /
+  :func:`apply_plan` / :func:`rebalance_cluster` resize or re-partition a
+  cluster while exact-mode estimates stay bit-identical and per-shard
+  estimator reservoirs are repaired rather than redrawn.
 """
 
 from repro.shard.merge import MergedStrata, ShardedStreamingEstimator, merge_strata
-from repro.shard.partition import KeyPartitioner
+from repro.shard.partition import (
+    KeyPartitioner,
+    RendezvousPartitioner,
+    resolve_partitioner,
+)
+from repro.shard.rebalance import (
+    KeyMove,
+    RebalancePlan,
+    apply_plan,
+    plan_rebalance,
+    rebalance_cluster,
+)
 from repro.shard.router import ShardRouter
 from repro.shard.sharded_index import IndexShard, PreparedBatch, ShardedMutableIndex
 
 __all__ = [
     "KeyPartitioner",
+    "RendezvousPartitioner",
+    "resolve_partitioner",
     "IndexShard",
     "PreparedBatch",
     "ShardedMutableIndex",
@@ -38,4 +57,9 @@ __all__ = [
     "MergedStrata",
     "merge_strata",
     "ShardedStreamingEstimator",
+    "KeyMove",
+    "RebalancePlan",
+    "plan_rebalance",
+    "apply_plan",
+    "rebalance_cluster",
 ]

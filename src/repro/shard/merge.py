@@ -99,6 +99,11 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
     the sample-size and ``δ`` defaults track the current *global* ``n``.
     ``details`` adds the per-shard strata (``shard_sizes`` /
     ``shard_collision_pairs``) and the sources used per stratum.
+
+    ``router`` optionally attaches the cluster's
+    :class:`~repro.shard.router.ShardRouter`: its buffer is flushed
+    before every estimate, so inserts still sitting in the write buffer
+    can never be silently missing from a served estimate.
     """
 
     name = "LSH-SS(sharded)"
@@ -111,6 +116,7 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         sample_size_l: Optional[int] = None,
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
+        router=None,
     ):
         for name, value in (
             ("sample_size_h (m_H)", sample_size_h),
@@ -123,6 +129,7 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
             if not 0.0 < float(dampening) <= 1.0:
                 raise ValidationError(f"dampening must be in (0, 1] or 'auto', got {dampening}")
         self.sharded = sharded
+        self.router = router
         self.sample_size_h = sample_size_h
         self.sample_size_l = sample_size_l
         self.answer_threshold = answer_threshold
@@ -231,6 +238,8 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
     def _estimate_with_mode(
         self, threshold: float, mode: str, *, random_state: RandomState = None
     ) -> Estimate:
+        if self.router is not None:
+            self.router.flush()  # buffered inserts must be visible to estimates
         rng = ensure_rng(random_state)
         strata = merge_strata(self.sharded)
         n = strata.size

@@ -62,6 +62,10 @@ class ShardRouter:
         )
         self._pending_rows: List[sparse.csr_matrix] = []
         self._events_routed = 0
+        #: set when a batch commit raised partway — shard slices may be
+        #: applied while the facade saw nothing, so a retry would claim
+        #: fresh ids and ingest those rows a second time
+        self._commit_failed = False
 
     # ------------------------------------------------------------------
     @property
@@ -89,13 +93,22 @@ class ShardRouter:
     def flush(self) -> int:
         """Hash, partition, and ingest the buffered inserts; returns the count.
 
-        The buffer is cleared only after the batch commits, so a failed
-        flush keeps the rows for a retry (at-least-once: a failure
-        partway through shard ingestion may leave part of the batch
-        applied — replay semantics, not transactions).
+        The buffer is cleared only after the batch commits.  A failure
+        *before* the commit (e.g. while coercing a later event) leaves
+        the buffer intact and retryable; a failure *during* the commit
+        may have applied some shard slices already, so the router
+        refuses further flushes instead of re-claiming ids and
+        ingesting those rows twice — recover by replaying the log onto
+        a fresh cluster (replay semantics, not transactions).
         """
         if not self._pending_rows:
             return 0
+        if self._commit_failed:
+            raise ValidationError(
+                "a previous batch commit failed partway; the cluster may hold "
+                "a partial batch — replay the log onto a fresh cluster instead "
+                "of retrying this router"
+            )
         if len(self._pending_rows) == 1:
             stacked = self._pending_rows[0]
         else:
@@ -103,7 +116,11 @@ class ShardRouter:
         count = len(self._pending_rows)
         # buffered rows are coerce_row output: canonical by construction
         batch = self.index.prepare_batch(stacked, coerced=True)
-        self.index.commit_batch(batch, executor=self._executor)
+        try:
+            self.index.commit_batch(batch, executor=self._executor)
+        except BaseException:
+            self._commit_failed = True
+            raise
         self._pending_rows = []
         self._events_routed += count
         return count
@@ -124,29 +141,49 @@ class ShardRouter:
         ``estimator`` and ``threshold`` are given, the buffer is flushed
         and an estimate collected as ``(label, Estimate)`` — mirroring
         :meth:`ChangeLog.replay` on a single index.
+
+        A final flush is guaranteed even when the replay ends mid-batch
+        or an event fails to apply: inserts buffered before the failing
+        event are committed rather than silently dropped (at-least-once,
+        as :meth:`flush` documents), and the original error propagates.
         """
         rng = ensure_rng(random_state)
         results: List[Tuple[str, object]] = []
-        for event in log:
-            if isinstance(event, Insert):
-                self.insert(event.vector)
-            elif isinstance(event, Delete):
-                self.delete(event.vector_id)
-            elif isinstance(event, Checkpoint):
+        try:
+            for event in log:
+                if isinstance(event, Insert):
+                    self.insert(event.vector)
+                elif isinstance(event, Delete):
+                    self.delete(event.vector_id)
+                elif isinstance(event, Checkpoint):
+                    self.flush()
+                    if estimator is not None and threshold is not None:
+                        results.append(
+                            (event.label, estimator.estimate(threshold, random_state=rng, mode=mode))
+                        )
+                else:  # pragma: no cover - defensive
+                    raise ValidationError(f"unknown event type: {type(event).__name__}")
+        except BaseException:
+            try:
                 self.flush()
-                if estimator is not None and threshold is not None:
-                    results.append(
-                        (event.label, estimator.estimate(threshold, random_state=rng, mode=mode))
-                    )
-            else:  # pragma: no cover - defensive
-                raise ValidationError(f"unknown event type: {type(event).__name__}")
+            except Exception:  # keep the original error; rows stay buffered
+                pass
+            raise
         self.flush()
         return results
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush remaining inserts and stop the worker pool."""
-        self.flush()
+        """Flush remaining inserts and stop the worker pool.
+
+        Idempotent: after the pool is shut down, later ``flush`` /
+        ``close`` calls fall back to synchronous ingestion, so no
+        buffered insert can be stranded by closing twice or by writing
+        after close.  After a partial commit failure the final flush is
+        skipped (retrying would double-ingest; see :meth:`flush`).
+        """
+        if not self._commit_failed:
+            self.flush()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

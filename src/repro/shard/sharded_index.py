@@ -45,7 +45,13 @@ from repro.lsh.families import LSHFamily
 from repro.lsh.index import resolve_family
 from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
 from repro.rng import RandomState, ensure_rng, spawn
-from repro.shard.partition import KeyPartitioner
+from repro.shard.partition import (
+    Partitioner,
+    key_signature_matrix,
+    partitioner_from_state,
+    partitioner_state,
+    resolve_partitioner,
+)
 from repro.streaming.estimator import StreamingEstimator
 from repro.streaming.mutable_index import (
     MutableLSHIndex,
@@ -53,7 +59,9 @@ from repro.streaming.mutable_index import (
     claim_vector_id,
     coerce_matrix,
     coerce_row,
+    collect_estimator_states,
     freeze_bucket_layout,
+    restore_estimator_states,
     signature_bucket_key,
 )
 from repro.streaming.rowstore import pairwise_cosine
@@ -176,6 +184,11 @@ class ShardedMutableIndex:
         therefore buckets) every vector identically.
     num_shards:
         ``S`` — number of shards.
+    partitioner:
+        Bucket-key → shard assignment: a kind string (``"modulo"``, the
+        default, or ``"rendezvous"`` for minimal-movement resizes via
+        :mod:`repro.shard.rebalance`), a partitioner class, or a
+        pre-built instance covering ``num_shards`` shards.
     shard_estimators:
         When true (default), every shard carries a
         :class:`~repro.streaming.estimator.StreamingEstimator` that
@@ -195,6 +208,7 @@ class ShardedMutableIndex:
         num_tables: int = 1,
         family: Union[str, Type[LSHFamily]] = "cosine",
         random_state: RandomState = None,
+        partitioner: Union[str, Partitioner, type] = "modulo",
         shard_estimators: bool = True,
         estimator_kwargs: Optional[Dict[str, object]] = None,
     ):
@@ -205,7 +219,7 @@ class ShardedMutableIndex:
         self.dimension = int(dimension)
         self.num_hashes = int(num_hashes)
         self.num_tables = int(num_tables)
-        self.partitioner = KeyPartitioner(num_shards)
+        self.partitioner = resolve_partitioner(partitioner, num_shards)
         # identical family-draw sequence to an unsharded MutableLSHIndex
         family_class = resolve_family(family)
         rng = ensure_rng(random_state)
@@ -219,18 +233,7 @@ class ShardedMutableIndex:
         self.shards: List[IndexShard] = []
         estimator_rngs = spawn(rng, num_shards) if self._shard_estimators else [None] * num_shards
         for shard_id in range(num_shards):
-            index = MutableLSHIndex(
-                self.dimension,
-                num_hashes=self.num_hashes,
-                num_tables=self.num_tables,
-                families=self.families,
-            )
-            estimator = None
-            if self._shard_estimators:
-                estimator = StreamingEstimator(
-                    index, random_state=estimator_rngs[shard_id], **self._estimator_kwargs
-                )
-            self.shards.append(IndexShard(shard_id, index, estimator))
+            self.shards.append(self._new_shard(shard_id, estimator_rngs[shard_id]))
         self._shard_of_id: Dict[int, int] = {}
         #: primary-table bucket key → [live member count, owning shard];
         #: dict order mirrors the unsharded table's bucket insertion order
@@ -240,6 +243,10 @@ class ShardedMutableIndex:
         self._next_id = 0
         self._observers: List[object] = []
         self._frozen: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = None
+        #: True while some live bucket's owner differs from the current
+        #: partitioner's pick (manual migrations, mid-rebalance snapshots);
+        #: keeps owner re-checks off the hot ingest path otherwise
+        self._owner_overrides = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -268,11 +275,60 @@ class ShardedMutableIndex:
         return index
 
     # ------------------------------------------------------------------
+    # shard management (construction + rebalance substrate)
+    # ------------------------------------------------------------------
+    def _new_shard(self, shard_id: int, estimator_rng: RandomState = None) -> IndexShard:
+        """An empty shard sharing the cluster's families (hashing identically)."""
+        index = MutableLSHIndex(
+            self.dimension,
+            num_hashes=self.num_hashes,
+            num_tables=self.num_tables,
+            families=self.families,
+        )
+        estimator = None
+        if self._shard_estimators:
+            estimator = StreamingEstimator(
+                index, random_state=estimator_rng, **self._estimator_kwargs
+            )
+        return IndexShard(shard_id, index, estimator)
+
+    def add_shards(self, new_total: int, *, estimator_seed: RandomState = None) -> None:
+        """Grow the cluster to ``new_total`` (empty) shards.
+
+        Existing shards and the partitioner are untouched — callers
+        (:func:`repro.shard.rebalance.rebalance_cluster`) follow up by
+        a plan under a partitioner that covers the new shard count.
+        """
+        if new_total < len(self.shards):
+            raise ValidationError(
+                f"add_shards cannot shrink the cluster "
+                f"({len(self.shards)} → {new_total}); use a rebalance"
+            )
+        extra = new_total - len(self.shards)
+        rngs = spawn(ensure_rng(estimator_seed), extra) if self._shard_estimators else [None] * extra
+        for offset in range(extra):
+            self.shards.append(self._new_shard(len(self.shards), rngs[offset]))
+
+    def drop_trailing_shards(self, new_total: int) -> None:
+        """Shrink the cluster to ``new_total`` shards; the rest must be empty."""
+        if new_total < 1:
+            raise ValidationError(f"a cluster needs >= 1 shard, got {new_total}")
+        for shard in self.shards[new_total:]:
+            if shard.size:
+                raise ValidationError(
+                    f"shard {shard.shard_id} still holds {shard.size} vectors; "
+                    "rebalance them away before shrinking"
+                )
+            if shard.estimator is not None:
+                shard.estimator.close()
+        del self.shards[new_total:]
+
+    # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
-        return self.partitioner.num_shards
+        return len(self.shards)
 
     @property
     def size(self) -> int:
@@ -355,13 +411,50 @@ class ShardedMutableIndex:
             ref[0] += 1
         self._frozen = None
 
+    def _owning_shard(self, key: bytes) -> int:
+        """Destination shard for a bucket key: the live bucket's owner, else
+        the partitioner's pick.
+
+        After a manual key migration (or mid-rebalance) a live bucket may
+        sit on a different shard than the current partitioner would
+        choose; routing to the *owner* keeps the never-straddle
+        invariant under any owner assignment.  While owners and
+        partitioner agree (`_owner_overrides` false — the common case),
+        the partitioner's pick *is* the owner and the lookup is skipped.
+        """
+        if self._owner_overrides:
+            ref = self._bucket_refs.get(key)
+            if ref is not None:
+                return ref[1]
+        return self.partitioner(key)
+
+    def _refresh_owner_alignment(self) -> None:
+        """Recompute `_owner_overrides` in one vectorised pass over the keys.
+
+        Called after rebalances and restores; everywhere else the flag
+        only ever stays aligned (new buckets are placed by the
+        partitioner, deletions cannot introduce divergence).
+        """
+        refs = self._bucket_refs
+        if not refs:
+            self._owner_overrides = False
+            return
+        keys = list(refs.keys())
+        picks = self.partitioner.shard_of_signatures(
+            key_signature_matrix(keys, self.num_hashes)
+        )
+        owners = np.fromiter(
+            (ref[1] for ref in refs.values()), dtype=np.int64, count=len(keys)
+        )
+        self._owner_overrides = bool(np.any(picks != owners))
+
     def insert(self, vector: VectorInput, *, vector_id: Optional[int] = None) -> int:
         """Route one vector to its owning shard; returns the global id."""
         row = coerce_row(vector, self.dimension)
         signatures = [family.hash_matrix(row)[0] for family in self.families]
         vector_id = self._claim_id(vector_id)
         key = signature_bucket_key(signatures[0], self.num_hashes)
-        shard_id = self.partitioner(key)
+        shard_id = self._owning_shard(key)
         self.shards[shard_id].index._insert_prepared(vector_id, row, signatures)
         self._track_insert(vector_id, key, shard_id)
         for observer in self._observers:
@@ -399,6 +492,14 @@ class ShardedMutableIndex:
         primary = np.ascontiguousarray(signatures[0])
         keys = [primary[position].tobytes() for position in range(num_rows)]
         shard_ids = self.partitioner.shard_of_signatures(primary)
+        if self._owner_overrides:
+            # live buckets own their key even when a migration has moved
+            # them off the partitioner's current pick (see _owning_shard)
+            refs = self._bucket_refs
+            for position, key in enumerate(keys):
+                ref = refs.get(key)
+                if ref is not None and ref[1] != shard_ids[position]:
+                    shard_ids[position] = ref[1]
         return PreparedBatch(ids=ids, csr=csr, signatures=signatures, keys=keys, shard_ids=shard_ids)
 
     def commit_batch(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
@@ -607,6 +708,11 @@ class ShardedMutableIndex:
 
     def check_invariants(self) -> None:
         """Verify the merge bookkeeping against the shards (tests aid)."""
+        if self.partitioner.num_shards != len(self.shards):
+            raise AssertionError(
+                f"partitioner covers {self.partitioner.num_shards} shards, "
+                f"cluster has {len(self.shards)}"
+            )
         for shard in self.shards:
             shard.index.check_invariants()
         if sum(shard.size for shard in self.shards) != self.size:
@@ -623,14 +729,22 @@ class ShardedMutableIndex:
     # snapshot / restore (checkpointing + rebalancing substrate)
     # ------------------------------------------------------------------
     def to_state(self) -> Dict[str, object]:
-        """A picklable checkpoint of the facade and every shard."""
-        return {
+        """A picklable checkpoint of the facade and every shard.
+
+        Per-shard estimator reservoirs travel inside each shard's state
+        (:meth:`MutableLSHIndex.to_state` embeds its registered
+        estimators); estimators observing the facade itself are captured
+        under ``"estimators"``.  Restores therefore replay estimates
+        bit-identically instead of redrawing sampled state.
+        """
+        state = {
             "format": 1,
             "kind": "sharded",
             "dimension": self.dimension,
             "num_hashes": self.num_hashes,
             "num_tables": self.num_tables,
             "num_shards": self.num_shards,
+            "partitioner": partitioner_state(self.partitioner),
             "next_id": self._next_id,
             "live_ids": list(self._live_ids),
             "shard_of": [self._shard_of_id[i] for i in self._live_ids],
@@ -642,6 +756,10 @@ class ShardedMutableIndex:
             "estimator_kwargs": self._estimator_kwargs,
             "shards": [shard.index.to_state() for shard in self.shards],
         }
+        facade_estimators = collect_estimator_states(self._observers)
+        if facade_estimators:
+            state["estimators"] = facade_estimators
+        return state
 
     @classmethod
     def from_state(
@@ -649,11 +767,14 @@ class ShardedMutableIndex:
     ) -> "ShardedMutableIndex":
         """Rebuild a sharded index from :meth:`to_state` output.
 
-        Per-shard estimators are recreated fresh (reservoirs are redrawn
-        by construction; they are samples, not state that must survive).
-        Their generators are spawned from ``estimator_seed`` — fresh
-        entropy by default, so independently restored replicas draw
-        independent reservoir samples; pass a seed for reproducibility.
+        Per-shard estimators embedded in the shard states are reattached
+        with their reservoirs, staleness counters, and generator
+        positions intact, so restored clusters serve the *same* sampled
+        state the original would — the substrate key-range migration
+        relies on.  Only when a shard state carries no estimator (older
+        snapshots, or ``shard_estimators`` toggled on after the
+        snapshot) is a fresh estimator drawn, seeded from
+        ``estimator_seed``.
         """
         if state.get("format") != 1 or state.get("kind") != "sharded":
             raise ValidationError("not a sharded-index snapshot")
@@ -661,15 +782,30 @@ class ShardedMutableIndex:
         sharded.dimension = int(state["dimension"])
         sharded.num_hashes = int(state["num_hashes"])
         sharded.num_tables = int(state["num_tables"])
-        sharded.partitioner = KeyPartitioner(int(state["num_shards"]))
+        if "partitioner" in state:
+            sharded.partitioner = partitioner_from_state(state["partitioner"])
+        else:  # pre-rebalance snapshots carried only the shard count
+            sharded.partitioner = resolve_partitioner("modulo", int(state["num_shards"]))
         sharded._shard_estimators = bool(state["shard_estimators"])
         sharded._estimator_kwargs = dict(state["estimator_kwargs"])
+        budget = sharded._estimator_kwargs.get("staleness_budget")
+        if isinstance(budget, (int, float)) and budget > 1.0:
+            # legacy snapshots could carry budgets > 1, which behaved
+            # exactly like 1.0 (staleness is a capped fraction); clamp so
+            # they keep restoring under the tightened validation
+            sharded._estimator_kwargs["staleness_budget"] = 1.0
         estimator_rngs = spawn(ensure_rng(estimator_seed), int(state["num_shards"]))
         sharded.shards = []
         for shard_id, shard_state in enumerate(state["shards"]):
             index = MutableLSHIndex.from_state(shard_state)
-            estimator = None
-            if sharded._shard_estimators:
+            restored = index.estimators
+            if not sharded._shard_estimators:
+                for estimator in restored:  # flag toggled off: detach
+                    estimator.close()
+                estimator = None
+            elif restored:
+                estimator = restored[0]
+            else:
                 estimator = StreamingEstimator(
                     index, random_state=estimator_rngs[shard_id], **sharded._estimator_kwargs
                 )
@@ -690,6 +826,8 @@ class ShardedMutableIndex:
         sharded._next_id = int(state["next_id"])
         sharded._observers = []
         sharded._frozen = None
+        sharded._refresh_owner_alignment()
+        restore_estimator_states(sharded, state.get("estimators", ()))
         return sharded
 
     def snapshot(self, path: Union[str, Path]) -> None:

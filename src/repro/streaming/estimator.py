@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -59,7 +59,7 @@ from repro.core.lsh_ss import (
     sample_stratum_l,
 )
 from repro.errors import InsufficientSampleError, ValidationError
-from repro.rng import RandomState, ensure_rng
+from repro.rng import RandomState, ensure_rng, generator_from_state, generator_state
 from repro.streaming.mutable_index import MutableLSHIndex
 
 _MODES = ("auto", "exact", "reservoir")
@@ -146,6 +146,29 @@ class _PairReservoir:
             np.asarray(self.right, dtype=np.int64),
         )
 
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot: sampled pairs plus the staleness counters."""
+        return {
+            "target_size": self.target_size,
+            "left": list(self.left),
+            "right": list(self.right),
+            "unseen_pairs": self.unseen_pairs,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "_PairReservoir":
+        reservoir = cls(int(state["target_size"]))
+        reservoir.left = [int(u) for u in state["left"]]
+        reservoir.right = [int(v) for v in state["right"]]
+        if len(reservoir.left) != len(reservoir.right):
+            raise ValidationError("reservoir state has mismatched pair arrays")
+        reservoir._id_counts = Counter(reservoir.left)
+        reservoir._id_counts.update(reservoir.right)
+        reservoir.unseen_pairs = int(state["unseen_pairs"])
+        reservoir.degraded = bool(state["degraded"])
+        return reservoir
+
 
 class StreamingEstimator(SimilarityJoinSizeEstimator):
     """LSH-SS served incrementally from a mutable index (see module docs).
@@ -164,8 +187,10 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         Target number of pairs kept per stratum for the amortised path.
     staleness_budget:
         Maximum tolerated staleness fraction before a partial resample
-        (see module docstring).  Must be positive; larger values trade
-        accuracy of the amortised path for fewer redraws.
+        (see module docstring).  Must lie in ``(0, 1]`` — staleness is a
+        fraction of the stratum, so a budget of 1 disables automatic
+        repair entirely; larger values trade accuracy of the amortised
+        path for fewer redraws.
     random_state:
         Generator for reservoir maintenance draws (estimates take their
         own ``random_state`` per call).
@@ -199,9 +224,12 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
                 raise ValidationError(f"{name} must be >= 1, got {value}")
         if reservoir_size < 1:
             raise ValidationError(f"reservoir_size must be >= 1, got {reservoir_size}")
-        if staleness_budget <= 0.0:
+        if not 0.0 < staleness_budget <= 1.0:
+            # staleness is a fraction of the stratum, capped at 1.0 — a
+            # budget above 1 could never be exceeded, silently disabling
+            # repair while claiming a bound
             raise ValidationError(
-                f"staleness_budget must be positive, got {staleness_budget}"
+                f"staleness_budget must lie in (0, 1], got {staleness_budget}"
             )
         if dampening is not None and dampening != "auto":
             if not 0.0 < float(dampening) <= 1.0:
@@ -222,6 +250,81 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
     def close(self) -> None:
         """Detach from the index: no further mutations repair this estimator."""
         self.index.unregister_observer(self)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """A picklable checkpoint of the sampled state.
+
+        Captures both reservoirs (pairs, staleness counters, degraded
+        flags) *and* the maintenance generator's exact stream position,
+        so a restored estimator replays estimates — including later
+        repairs triggered by further mutations — bit-identically to one
+        that was never checkpointed.  The index itself is snapshotted
+        separately (:meth:`MutableLSHIndex.to_state`, which embeds this
+        state for its registered estimators).
+        """
+        return {
+            "format": 1,
+            "kind": "streaming-estimator",
+            "sample_size_h": self.sample_size_h,
+            "sample_size_l": self.sample_size_l,
+            "answer_threshold": self.answer_threshold,
+            "dampening": self.dampening,
+            "reservoir_size": self.reservoir_size,
+            "staleness_budget": self.staleness_budget,
+            "rng": generator_state(self._rng),
+            "reservoir_h": self._reservoir_h.state(),
+            "reservoir_l": self._reservoir_l.state(),
+        }
+
+    @classmethod
+    def from_state(cls, index, state: Mapping[str, object]) -> "StreamingEstimator":
+        """Reattach a checkpointed estimator to ``index`` without redrawing.
+
+        The reservoirs are loaded verbatim — they are repaired sampled
+        state the paper's maintenance scheme paid to keep uniform, not
+        disposable scratch — and the generator resumes mid-stream, so
+        restore is invisible to every later estimate.
+        """
+        if state.get("format") != 1 or state.get("kind") != "streaming-estimator":
+            raise ValidationError("not a streaming-estimator snapshot")
+        estimator = cls.__new__(cls)
+        estimator.index = index
+        estimator.sample_size_h = state["sample_size_h"]
+        estimator.sample_size_l = state["sample_size_l"]
+        estimator.answer_threshold = state["answer_threshold"]
+        estimator.dampening = state["dampening"]
+        estimator.reservoir_size = int(state["reservoir_size"])
+        estimator.staleness_budget = float(state["staleness_budget"])
+        estimator._rng = generator_from_state(dict(state["rng"]))
+        estimator._reservoir_h = _PairReservoir.from_state(state["reservoir_h"])
+        estimator._reservoir_l = _PairReservoir.from_state(state["reservoir_l"])
+        index.register_observer(estimator)
+        return estimator
+
+    def account_for_migration(
+        self,
+        *,
+        departed_ids: Iterable[int] = (),
+        unseen_collision_pairs: int = 0,
+        unseen_non_collision_pairs: int = 0,
+    ) -> None:
+        """Repair the reservoirs after a shard migration (rebalance layer).
+
+        Vectors migrated *out* behave like deletes for this shard's
+        strata: every reservoir pair touching them is evicted.  Pair mass
+        migrated *in* behaves like inserts the reservoirs never had a
+        chance to sample, so it is added to the staleness counters; a
+        partial resample then triggers exactly when the budget demands.
+        """
+        for vector_id in departed_ids:
+            self._reservoir_h.drop_vector(int(vector_id))
+            self._reservoir_l.drop_vector(int(vector_id))
+        self._reservoir_h.unseen_pairs += int(unseen_collision_pairs)
+        self._reservoir_l.unseen_pairs += int(unseen_non_collision_pairs)
+        self._repair_if_stale()
 
     def _reservoir(self, stratum: str) -> _PairReservoir:
         if stratum not in ("h", "l"):

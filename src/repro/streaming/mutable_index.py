@@ -387,6 +387,31 @@ def freeze_bucket_layout(buckets) -> Tuple[np.ndarray, np.ndarray, np.ndarray, n
     return counts, offsets, members_flat, pair_counts
 
 
+def collect_estimator_states(observers: Sequence[object]) -> List[Dict[str, object]]:
+    """Serialisable states of the estimator observers among ``observers``.
+
+    Duck-typed (``to_state`` + the ``"streaming-estimator"`` kind tag)
+    so this module never imports :mod:`repro.streaming.estimator`, which
+    imports it back.
+    """
+    states = []
+    for observer in observers:
+        to_state = getattr(observer, "to_state", None)
+        if not callable(to_state):
+            continue
+        state = to_state()
+        if isinstance(state, dict) and state.get("kind") == "streaming-estimator":
+            states.append(state)
+    return states
+
+
+def restore_estimator_states(index, states: Sequence[Mapping[str, object]]) -> List[object]:
+    """Reattach checkpointed estimators to a restored index (in order)."""
+    from repro.streaming.estimator import StreamingEstimator
+
+    return [StreamingEstimator.from_state(index, state) for state in states]
+
+
 class MutableLSHIndex:
     """``ℓ`` mutable LSH tables over a growing / shrinking vector set.
 
@@ -756,15 +781,21 @@ class MutableLSHIndex:
     # snapshot / restore
     # ------------------------------------------------------------------
     def to_state(self) -> Dict[str, object]:
-        """A picklable checkpoint: rows, bucket layouts, and hash families.
+        """A picklable checkpoint: rows, bucket layouts, families, estimators.
 
         Bucket dict iteration order and the live-id order are both
         preserved, so a restored index produces the same sampling draws
         the original would for the same generator state — a shard can be
         checkpointed on one node and revived on another without
         disturbing the merged estimate.
+
+        Registered :class:`~repro.streaming.estimator.StreamingEstimator`
+        observers contribute their reservoir state (pairs, staleness
+        counters, generator position) under the ``"estimators"`` key, so
+        :meth:`from_state` reattaches them with their sampled state
+        intact instead of redrawing.
         """
-        return {
+        state = {
             "format": 1,
             "dimension": self.dimension,
             "num_hashes": self.num_hashes,
@@ -775,10 +806,19 @@ class MutableLSHIndex:
             "families": self.families,
             "tables": [table.bucket_state() for table in self.tables],
         }
+        estimator_states = collect_estimator_states(self._observers)
+        if estimator_states:
+            state["estimators"] = estimator_states
+        return state
 
     @classmethod
     def from_state(cls, state: Mapping[str, object]) -> "MutableLSHIndex":
-        """Rebuild an index from :meth:`to_state` output (no re-hashing)."""
+        """Rebuild an index from :meth:`to_state` output (no re-hashing).
+
+        Estimator states embedded by :meth:`to_state` are restored and
+        re-registered as observers; retrieve them via
+        ``index.estimators`` (they resume bit-identically).
+        """
         if state.get("format") != 1:
             raise ValidationError(
                 f"unsupported snapshot format {state.get('format')!r}"
@@ -797,7 +837,17 @@ class MutableLSHIndex:
         index._next_id = int(state["next_id"])
         for table, buckets in zip(index.tables, state["tables"]):
             table.load_bucket_state(buckets)
+        restore_estimator_states(index, state.get("estimators", ()))
         return index
+
+    @property
+    def estimators(self) -> Tuple[object, ...]:
+        """The registered streaming estimators (restored ones included)."""
+        return tuple(
+            observer
+            for observer in self._observers
+            if callable(getattr(observer, "to_state", None))
+        )
 
     def snapshot(self, path: Union[str, Path]) -> None:
         """Serialise the index to ``path`` (buckets + rows + families)."""
@@ -839,4 +889,6 @@ __all__ = [
     "coerce_matrix",
     "signature_bucket_key",
     "freeze_bucket_layout",
+    "collect_estimator_states",
+    "restore_estimator_states",
 ]

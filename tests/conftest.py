@@ -8,8 +8,16 @@ deterministic (fixed seeds) so tests can assert on stable quantities.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# the churn-log fixture delegates to benchmarks._helpers so tests and
+# benchmark gates replay identical streams; keep that import working when
+# pytest is invoked from outside the repo root
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.datasets import make_dblp_like, make_nyt_like
 from repro.join.histogram import SimilarityHistogram
@@ -21,6 +29,28 @@ from repro.vectors import VectorCollection
 def rng() -> np.random.Generator:
     """A fresh deterministic generator for individual tests."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def churn_log_factory():
+    """Shared generator of insert/delete churn logs (streaming/shard tests).
+
+    Returns ``make(collection, operations, *, seed=42, checkpoint=False)``,
+    delegating to :func:`benchmarks._helpers.churn_log` so the test
+    properties and the benchmark gates replay the *same* canonical event
+    stream (~30% deletes of a random live id, the rest inserts of random
+    corpus rows, ids assigned sequentially).
+    """
+    from benchmarks._helpers import churn_log
+    from repro.streaming import Checkpoint
+
+    def make(collection, operations, *, seed=42, checkpoint=False):
+        log = churn_log(collection, operations, seed=seed)
+        if checkpoint:
+            log.append(Checkpoint("end"))
+        return log
+
+    return make
 
 
 @pytest.fixture

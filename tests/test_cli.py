@@ -225,3 +225,52 @@ class TestShardCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "dimension" in captured.err
+
+
+class TestRebalanceCommand:
+    _write_log = staticmethod(TestStreamCommand._write_log)
+
+    def _snapshot(self, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        snapshot = tmp_path / "cluster.pkl"
+        assert main(
+            ["shard", "--events", str(log), "--num-hashes", "6", "--shards", "2",
+             "--partitioner", "rendezvous", "--snapshot", str(snapshot)]
+        ) == 0
+        return snapshot
+
+    def test_dry_run_prints_plan_without_writing(self, capsys, tmp_path):
+        snapshot = self._snapshot(tmp_path)
+        capsys.readouterr()
+        exit_code = main(
+            ["rebalance", "--snapshot", str(snapshot), "--shards", "3",
+             "--threshold", "0.7"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "dry run" in captured.out
+        assert "moved fraction" in captured.out
+
+    def test_apply_writes_rebalanced_snapshot(self, capsys, tmp_path):
+        snapshot = self._snapshot(tmp_path)
+        output = tmp_path / "cluster3.pkl"
+        capsys.readouterr()
+        exit_code = main(
+            ["rebalance", "--snapshot", str(snapshot), "--shards", "3",
+             "--threshold", "0.7", "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "written to" in captured.out
+        from repro.shard import ShardedMutableIndex
+
+        revived = ShardedMutableIndex.restore(output)
+        revived.check_invariants()
+        assert revived.num_shards == 3
+        assert revived.partitioner.kind == "rendezvous"
+
+    def test_missing_snapshot(self, capsys, tmp_path):
+        exit_code = main(["rebalance", "--snapshot", str(tmp_path / "nope.pkl")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err

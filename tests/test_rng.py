@@ -66,3 +66,29 @@ class TestDeriveSeed:
 
     def test_derive_seed_deterministic(self):
         assert derive_seed(ensure_rng(5)) == derive_seed(ensure_rng(5))
+
+
+class TestGeneratorState:
+    def test_round_trip_resumes_mid_stream(self):
+        from repro.rng import generator_from_state, generator_state
+
+        rng = ensure_rng(11)
+        rng.integers(0, 100, size=7)  # advance past the seed position
+        revived = generator_from_state(generator_state(rng))
+        np.testing.assert_array_equal(
+            revived.integers(0, 2**32, size=16), rng.integers(0, 2**32, size=16)
+        )
+
+    def test_state_is_a_copy(self):
+        from repro.rng import generator_state
+
+        rng = ensure_rng(0)
+        state = generator_state(rng)
+        rng.integers(0, 100, size=3)
+        assert state == generator_state(ensure_rng(0))  # unchanged by draws
+
+    def test_unknown_bit_generator_rejected(self):
+        from repro.rng import generator_from_state
+
+        with pytest.raises(ValueError):
+            generator_from_state({"bit_generator": "NotAGenerator"})

@@ -17,7 +17,6 @@ from repro.shard import (
 from repro.shard.partition import signature_shard_hash
 from repro.streaming import (
     ChangeLog,
-    Checkpoint,
     Delete,
     Insert,
     MutableLSHIndex,
@@ -29,28 +28,10 @@ SEED = 19
 NUM_HASHES = 10
 
 
-def _churn_log(collection, operations, *, seed=42, checkpoint=False) -> ChangeLog:
-    rng = np.random.default_rng(seed)
-    log = ChangeLog()
-    live, next_id = [], 0
-    for _ in range(operations):
-        if live and rng.random() < 0.3:
-            victim = int(rng.choice(live))
-            live.remove(victim)
-            log.append(Delete(victim))
-        else:
-            log.append(Insert(collection.row_dict(int(rng.integers(0, collection.size)))))
-            live.append(next_id)
-            next_id += 1
-    if checkpoint:
-        log.append(Checkpoint("end"))
-    return log
-
-
 @pytest.fixture(scope="module")
-def churned_pair(small_collection):
+def churned_pair(small_collection, churn_log_factory):
     """(unsharded index, sharded S=4 index) fed the same 400-op churn log."""
-    log = _churn_log(small_collection, 400)
+    log = churn_log_factory(small_collection, 400)
     unsharded = MutableLSHIndex(
         small_collection.dimension, num_hashes=NUM_HASHES, random_state=SEED
     )
@@ -135,10 +116,10 @@ class TestShardedMutableIndex:
             np.testing.assert_array_equal(s_left, u_left)
             np.testing.assert_array_equal(s_right, u_right)
 
-    def test_facade_streaming_estimator_bit_identical(self, small_collection):
+    def test_facade_streaming_estimator_bit_identical(self, small_collection, churn_log_factory):
         """A plain StreamingEstimator over the facade — reservoirs and all —
         tracks the unsharded one bit for bit through churn."""
-        log = _churn_log(small_collection, 250, seed=5)
+        log = churn_log_factory(small_collection, 250, seed=5)
         unsharded = MutableLSHIndex(
             small_collection.dimension, num_hashes=NUM_HASHES, random_state=SEED
         )
@@ -195,8 +176,8 @@ class TestShardedMutableIndex:
 
 
 class TestShardRouter:
-    def test_async_matches_sync(self, small_collection):
-        log = _churn_log(small_collection, 300, seed=9)
+    def test_async_matches_sync(self, small_collection, churn_log_factory):
+        log = churn_log_factory(small_collection, 300, seed=9)
         results = []
         for workers in (0, 4):
             sharded = ShardedMutableIndex(
@@ -223,8 +204,8 @@ class TestShardRouter:
         assert router.pending == 0 and index.size == 1
         router.close()
 
-    def test_replay_emits_at_checkpoints(self, small_collection):
-        log = _churn_log(small_collection, 120, seed=3, checkpoint=True)
+    def test_replay_emits_at_checkpoints(self, small_collection, churn_log_factory):
+        log = churn_log_factory(small_collection, 120, seed=3, checkpoint=True)
         sharded = ShardedMutableIndex(
             small_collection.dimension, num_shards=2, num_hashes=NUM_HASHES, random_state=SEED
         )
@@ -280,12 +261,12 @@ class TestMergeLayer:
         left, right = source_l(200, rng)
         assert not np.any(view.same_bucket_many(left, right))
 
-    def test_merged_mode_estimates_reasonable(self, small_collection):
+    def test_merged_mode_estimates_reasonable(self, small_collection, churn_log_factory):
         """Pooled-reservoir estimates agree with the exact path's scale.
 
         Per-shard reservoirs are enlarged and refreshed so the comparison
         measures the merge arithmetic, not one stale reservoir draw."""
-        log = _churn_log(small_collection, 400)
+        log = churn_log_factory(small_collection, 400)
         sharded = ShardedMutableIndex(
             small_collection.dimension,
             num_shards=4,

@@ -321,9 +321,9 @@ class TestStreamingEstimator:
 
     def test_delete_evicts_reservoir_pairs(self, small_collection):
         index = MutableLSHIndex.from_collection(small_collection, num_hashes=12, random_state=19)
-        # huge budget: repairs never trigger, so evictions stay visible
+        # maximum budget: repairs never trigger, so evictions stay visible
         estimator = StreamingEstimator(
-            index, reservoir_size=64, staleness_budget=100.0, random_state=0
+            index, reservoir_size=64, staleness_budget=1.0, random_state=0
         )
         victims = set()
         h_left, h_right = estimator._reservoir_h.arrays()
@@ -338,7 +338,7 @@ class TestStreamingEstimator:
     def test_staleness_grows_and_refresh_resets(self, small_collection):
         index = MutableLSHIndex.from_collection(small_collection, num_hashes=12, random_state=19)
         estimator = StreamingEstimator(
-            index, reservoir_size=32, staleness_budget=100.0, random_state=0
+            index, reservoir_size=32, staleness_budget=1.0, random_state=0
         )
         assert estimator.staleness_h == 0.0
         for row in range(10):
@@ -478,7 +478,7 @@ class TestReviewRegressions:
     def test_close_detaches_estimator(self, small_collection):
         index = MutableLSHIndex.from_collection(small_collection, num_hashes=12, random_state=19)
         estimator = StreamingEstimator(
-            index, reservoir_size=16, staleness_budget=100.0, random_state=0
+            index, reservoir_size=16, staleness_budget=1.0, random_state=0
         )
         estimator.close()
         index.insert(small_collection.row(0))
@@ -655,3 +655,100 @@ class TestExternalIdsAndSnapshot:
             0.7, random_state=9, mode="exact"
         )
         assert restored.value == original.value
+
+
+class TestEstimatorPersistence:
+    """Reservoir pairs + staleness counters survive snapshot/restore."""
+
+    def test_staleness_budget_above_one_rejected(self, mutable_index):
+        # a budget > 1 could never be exceeded (staleness is a capped
+        # fraction), silently disabling repair while claiming a bound
+        with pytest.raises(ValidationError):
+            StreamingEstimator(mutable_index, staleness_budget=1.5)
+        StreamingEstimator(mutable_index, staleness_budget=1.0).close()
+
+    def test_state_round_trip_preserves_reservoirs(self, small_collection):
+        import pickle
+
+        index = MutableLSHIndex.from_collection(
+            small_collection, num_hashes=12, random_state=19
+        )
+        estimator = StreamingEstimator(index, reservoir_size=64, random_state=0)
+        for row in range(15):
+            index.insert(small_collection.row(row))
+        index.delete(4)
+        state = pickle.loads(pickle.dumps(index.to_state()))
+        revived = MutableLSHIndex.from_state(state)
+        (restored,) = revived.estimators
+        assert isinstance(restored, StreamingEstimator)
+        for stratum in ("h", "l"):
+            left, right = estimator.reservoir_pairs(stratum)
+            r_left, r_right = restored.reservoir_pairs(stratum)
+            np.testing.assert_array_equal(r_left, left)
+            np.testing.assert_array_equal(r_right, right)
+        assert restored.staleness_h == estimator.staleness_h
+        assert restored.staleness_l == estimator.staleness_l
+        for mode in ("reservoir", "exact", "auto"):
+            ours = restored.estimate(0.7, random_state=42, mode=mode)
+            theirs = estimator.estimate(0.7, random_state=42, mode=mode)
+            assert ours.value == theirs.value
+
+    def test_restored_estimator_replays_repairs_bit_identically(self, small_collection):
+        """The maintenance generator resumes mid-stream: mutations applied
+        after a restore trigger the same partial resamples the original
+        estimator performs."""
+        index = MutableLSHIndex.from_collection(
+            small_collection, num_hashes=12, random_state=19
+        )
+        estimator = StreamingEstimator(
+            index, reservoir_size=32, staleness_budget=0.1, random_state=7
+        )
+        revived = MutableLSHIndex.from_state(index.to_state())
+        (restored,) = revived.estimators
+        rng = np.random.default_rng(3)
+        for _ in range(60):  # heavy churn: repairs must fire on both sides
+            row = small_collection.row(int(rng.integers(0, small_collection.size)))
+            index.insert(row)
+            revived.insert(row)
+        ours = restored.estimate(0.7, random_state=1, mode="auto")
+        theirs = estimator.estimate(0.7, random_state=1, mode="auto")
+        assert ours.value == theirs.value
+        for stratum in ("h", "l"):
+            left, right = estimator.reservoir_pairs(stratum)
+            r_left, r_right = restored.reservoir_pairs(stratum)
+            np.testing.assert_array_equal(r_left, left)
+            np.testing.assert_array_equal(r_right, right)
+
+    def test_bad_estimator_state_rejected(self, mutable_index):
+        with pytest.raises(ValidationError):
+            StreamingEstimator.from_state(mutable_index, {"format": 99})
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1, max_size=40))
+    def test_snapshot_restore_estimate_matches_no_snapshot(self, ops):
+        """Acceptance property (a): for arbitrary event sequences, a
+        snapshot → restore → estimate in reservoir mode equals the
+        estimate the never-snapshotted estimator serves."""
+        rng = np.random.default_rng(55)
+        dense = (rng.random((30, 8)) < 0.4) * rng.random((30, 8))
+        dense[0] = dense[1]
+        dense[dense.sum(axis=1) == 0.0, 0] = 1.0
+        pool = VectorCollection.from_dense(dense)
+        index = MutableLSHIndex(pool.dimension, num_hashes=6, random_state=13)
+        estimator = StreamingEstimator(index, reservoir_size=16, random_state=5)
+        live = []
+        for op in ops:
+            if live and op % 3 == 0:
+                index.delete(live.pop(op % len(live)))
+            else:
+                live.append(index.insert(pool.row(op % pool.size)))
+        revived = MutableLSHIndex.from_state(index.to_state())
+        (restored,) = revived.estimators
+
+        def outcome(est):
+            try:
+                return est.estimate(0.5, random_state=11, mode="reservoir").value
+            except InsufficientSampleError:
+                return "insufficient"
+
+        assert outcome(restored) == outcome(estimator)
