@@ -4,6 +4,8 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Each module maps to one experiment of DESIGN.md §4 (E1–E14); the rendered
-tables are printed and persisted under ``benchmarks/results/``.
+Each module maps to one table or figure of the paper (experiment ids
+E1–E14 in the module docstrings; the README's "Tests and benchmarks"
+section lists the suite); the rendered tables are printed and persisted
+under ``benchmarks/results/``.
 """

@@ -1,6 +1,6 @@
 """Ablation — idealised vs angular collision model for the analytical estimators.
 
-DESIGN.md calls out one reproduction-specific design choice: Definition 3
+The reproduction makes one design choice worth quantifying: Definition 3
 idealises ``P(h(u)=h(v)) = sim(u,v)``, but Charikar's sign-random-projection
 family actually collides with probability ``1 − θ/π``.  The analytical
 estimators (J_U and LSH-S) can be run under either model; this ablation

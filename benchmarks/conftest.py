@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark suite.
 
 Every benchmark reproduces one table or figure of the paper (see
-DESIGN.md §4 for the experiment index).  The corpora are synthetic
+``benchmarks/__init__.py`` for the experiment index).  The corpora are synthetic
 analogues of DBLP / NYT / PUBMED at laptop scale; their sizes and the
 number of trials can be adjusted through environment variables:
 

@@ -1,14 +1,23 @@
 """Quickstart: estimate a vector similarity join size with LSH-SS.
 
-This mirrors the paper's workflow end to end:
+This mirrors the paper's workflow end to end, driven through the
+unified estimation engine (the recommended front door):
 
 1. build a collection of sparse vectors (here: a synthetic DBLP-like
    corpus of binary title/author vectors),
-2. build an LSH table extended with bucket counts (the only addition the
-   method needs on top of a conventional LSH index),
-3. ask LSH-SS for the join size at a threshold, and
-4. compare against the exact join (which a real system could never afford
-   to compute just for cardinality estimation).
+2. describe the deployment with a declarative ``EngineConfig`` (the
+   engine builds the LSH table extended with bucket counts — the only
+   addition the method needs on top of a conventional LSH index),
+3. ask the engine for the join size at a threshold, with full
+   provenance of which backend served it, and
+4. compare against the exact join (which a real system could never
+   afford to compute just for cardinality estimation).
+
+The same ``EngineConfig`` with ``backend="streaming"`` or
+``backend="sharded"`` serves the same estimates under churn or across
+shards — no caller changes.  The low-level path (building the index and
+estimator by hand) is shown at the end; for the same seeds it returns
+bit-identical values, so either layer can be used interchangeably.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,7 +26,15 @@ from __future__ import annotations
 
 import time
 
-from repro import LSHIndex, LSHSSEstimator, RandomPairSampling, exact_join_size, make_dblp_like
+from repro import (
+    EngineConfig,
+    EstimateRequest,
+    JoinEstimationEngine,
+    LSHIndex,
+    LSHSSEstimator,
+    exact_join_size,
+    make_dblp_like,
+)
 
 
 def main() -> None:
@@ -28,34 +45,43 @@ def main() -> None:
           f"avg features/vector: {collection.nnz_per_row.mean():.1f}")
     print(f"  candidate pairs M = {collection.total_pairs:,}")
 
-    print("\nBuilding the LSH index (one table, k = 20 hash functions)...")
+    print("\nOpening a static engine (one LSH table, k = 20 hash functions)...")
+    config = EngineConfig(backend="static", num_hashes=20, seed=41)
     start = time.perf_counter()
-    index = LSHIndex(collection, num_hashes=20, num_tables=1, random_state=42)
-    table = index.primary_table
-    print(f"  built in {time.perf_counter() - start:.2f}s; "
-          f"{table.num_buckets} buckets, N_H = {table.num_collision_pairs} co-bucket pairs")
-
-    estimator = LSHSSEstimator(table)
-    baseline = RandomPairSampling(collection)
+    engine = JoinEstimationEngine(config).open()
+    engine.ingest(collection)
+    # the index is built lazily: force it with a first estimate
+    details = engine.estimate(EstimateRequest(threshold=0.9, seed=0)).provenance
+    print(f"  ready in {time.perf_counter() - start:.2f}s; "
+          f"N_H = {details.backend_details['num_collision_pairs']} co-bucket pairs")
 
     print("\nEstimating the join size at several thresholds:")
     print(f"{'tau':>5} {'true J':>10} {'LSH-SS':>10} {'RS(pop)':>10}")
     for threshold in (0.2, 0.5, 0.8, 0.9):
         true_size = exact_join_size(collection, threshold)
-        start = time.perf_counter()
-        estimate = estimator.estimate(threshold, random_state=0)
-        lsh_ss_time = time.perf_counter() - start
-        rs_estimate = baseline.estimate(threshold, random_state=0)
-        print(f"{threshold:>5.1f} {true_size:>10,} {estimate.value:>10,.0f} "
-              f"{rs_estimate.value:>10,.0f}   (LSH-SS took {lsh_ss_time * 1000:.1f} ms)")
+        result = engine.estimate(EstimateRequest(threshold=threshold, seed=0))
+        rs_result = engine.estimate(
+            EstimateRequest(threshold=threshold, seed=0, estimator="rs")
+        )
+        wall_ms = result.provenance.wall_time_seconds * 1000
+        print(f"{threshold:>5.1f} {true_size:>10,} {result.value:>10,.0f} "
+              f"{rs_result.value:>10,.0f}   (LSH-SS took {wall_ms:.1f} ms)")
 
     print("\nEstimate details at tau = 0.9:")
-    details = estimator.estimate(0.9, random_state=0).details
+    details = engine.estimate(EstimateRequest(threshold=0.9, seed=0)).details
     print(f"  stratum H contribution: {details['stratum_h']:.1f} "
           f"({details['true_in_sample_h']} true pairs in the sample)")
     print(f"  stratum L contribution: {details['stratum_l']:.1f} "
           f"(adaptive sampling examined {details['samples_taken_l']} pairs)")
     print(f"  SampleL reached its answer threshold: {details['reached_answer_threshold']}")
+    engine.close()
+
+    print("\nLow-level alternative (bit-identical for the same seeds):")
+    index = LSHIndex(collection, num_hashes=20, num_tables=1, random_state=42)
+    estimator = LSHSSEstimator(index.primary_table)
+    estimate = estimator.estimate(0.9, random_state=0)
+    print(f"  LSHSSEstimator over index.primary_table -> {estimate.value:,.0f} "
+          f"(the engine's static backend builds exactly this from seed+1)")
 
 
 if __name__ == "__main__":

@@ -14,9 +14,18 @@ Quickstart
 >>> estimate = estimator.estimate(0.8, random_state=0)
 >>> true_size = exact_join_size(corpus.collection, 0.8)
 
-See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
-system inventory and ``EXPERIMENTS.md`` for the per-figure reproduction
-results.
+Every deployment shape (static, streaming, sharded, rebalanced) is also
+reachable through one front door — see :mod:`repro.engine`:
+
+>>> from repro import JoinEstimationEngine, EngineConfig
+>>> engine = JoinEstimationEngine(EngineConfig(backend="static", num_hashes=20, seed=0)).open()
+>>> _ = engine.ingest(corpus.collection)
+>>> result = engine.estimate(0.8)
+>>> engine.close()
+
+See ``README.md`` for the architecture overview ("Module map" for the
+system inventory, "Engine" for the front-door API, "Tests and
+benchmarks" for the per-figure reproduction experiments).
 """
 
 from repro.errors import (
@@ -102,6 +111,16 @@ from repro.streaming import (
     MutableLSHTable,
     StreamingEstimator,
 )
+from repro.engine import (
+    EngineConfig,
+    EstimateRequest,
+    EstimateResult,
+    EstimatorBackend,
+    JoinEstimationEngine,
+    Provenance,
+    available_backends,
+    register_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -182,4 +201,13 @@ __all__ = [
     # rebalancing
     "RebalancePlan",
     "rebalance_cluster",
+    # engine
+    "JoinEstimationEngine",
+    "EngineConfig",
+    "EstimateRequest",
+    "EstimateResult",
+    "Provenance",
+    "EstimatorBackend",
+    "register_backend",
+    "available_backends",
 ]

@@ -4,15 +4,25 @@ The CLI wraps the most common workflows so the library can be exercised
 without writing code::
 
     python -m repro estimate --profile dblp --num-vectors 2000 --threshold 0.8
+    python -m repro estimate --config engine.json --threshold 0.8
     python -m repro sweep    --profile nyt  --num-vectors 1500 --trials 5
     python -m repro probabilities --profile dblp --num-vectors 2000
     python -m repro stream --events updates.jsonl --threshold 0.8 --batch-size 50
 
+The serving commands (``estimate``, ``stream``, ``shard``,
+``rebalance``) all construct a
+:class:`~repro.engine.JoinEstimationEngine` — either from a declarative
+``--config`` JSON file (an :class:`~repro.engine.EngineConfig`) or from
+the legacy construction flags — so every deployment shape goes through
+the same front door instead of four bespoke construction branches.
+
 Sub-commands
 ------------
 ``estimate``
-    Build the chosen synthetic profile, index it, and print one estimate
-    per requested estimator next to the exact join size.
+    Build the chosen synthetic profile, ingest it into an engine (any
+    backend: static by default, or whatever ``--config`` declares), and
+    print one estimate per requested estimator next to the exact join
+    size.
 ``sweep``
     Run the full accuracy sweep (the Figure-2 methodology) over a
     threshold grid and print the error/variance table.
@@ -20,16 +30,16 @@ Sub-commands
     Print the Table-1 stratum probabilities for the chosen profile.
 ``stream``
     Replay a JSONL change log (see :mod:`repro.streaming.events` for the
-    format) through a mutable index and print one incremental estimate
-    after every batch of updates and at every checkpoint.
+    format) through a mutable engine backend and print one incremental
+    estimate after every batch of updates and at every checkpoint.
 ``shard``
-    Replay the same JSONL format through a :class:`repro.shard.ShardRouter`
-    over S bucket-key-partitioned shards, printing merged LSH-SS
-    estimates (router → shards → merge) and the per-shard strata; the
-    final cluster state can be checkpointed with ``--snapshot``.
+    Replay the same JSONL format through a sharded engine backend
+    (router → shards → merge), printing merged LSH-SS estimates and the
+    per-shard sizes; the final engine state can be checkpointed with
+    ``--snapshot``.
 ``rebalance``
-    Resize and/or re-partition a checkpointed cluster with minimal key
-    movement (``repro.shard.rebalance``); without ``--output`` it is a
+    Resize and/or re-partition a checkpointed engine (or raw cluster
+    snapshot) with minimal key movement; without ``--output`` it is a
     dry run that only prints the migration plan.
 """
 
@@ -38,18 +48,10 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.core import (
-    CrossSampling,
-    LSHSEstimator,
-    LSHSSEstimator,
-    LatticeCountingEstimator,
-    RandomPairSampling,
-    SimilarityJoinSizeEstimator,
-    UniformityEstimator,
-)
 from repro.datasets import make_dblp_like, make_nyt_like, make_pubmed_like
+from repro.engine import EngineConfig, JoinEstimationEngine, StaticBackend
 from repro.errors import ReproError, ValidationError
 from repro.evaluation import ExperimentRunner, empirical_stratum_probabilities
 from repro.evaluation.report import format_table, series_table
@@ -62,7 +64,8 @@ _PROFILES = {
     "pubmed": make_pubmed_like,
 }
 
-_ESTIMATOR_CHOICES = ("lsh-ss", "lsh-ss-d", "lsh-s", "ju", "lc", "rs", "rs-cross")
+# the static backend's registry is the single source of estimator flavors
+_ESTIMATOR_CHOICES = StaticBackend.estimator_names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,15 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hash functions per LSH table, k (default: 20)")
         sub.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
 
+    def add_engine_config(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--config", default=None,
+                         help="JSON EngineConfig file describing the engine "
+                              "(backend kind + options); supersedes the "
+                              "construction flags (--num-hashes, --seed, "
+                              "backend-specific flags)")
+
     estimate = subparsers.add_parser("estimate", help="one estimate per estimator at a threshold")
     add_common(estimate)
+    add_engine_config(estimate)
     estimate.add_argument("--threshold", type=float, required=True, help="similarity threshold τ")
     estimate.add_argument(
         "--estimators",
         nargs="+",
         choices=_ESTIMATOR_CHOICES,
-        default=["lsh-ss", "rs"],
-        help="estimators to run (default: lsh-ss rs)",
+        default=None,
+        help="estimators to run (static backend only; default: lsh-ss rs)",
     )
     estimate.add_argument("--no-exact", action="store_true",
                           help="skip computing the exact join size")
@@ -117,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream = subparsers.add_parser(
         "stream", help="incremental estimates over a JSONL change log"
     )
+    add_engine_config(stream)
     stream.add_argument("--events", required=True,
                         help="path to a JSONL change log (insert/delete/checkpoint events)")
     stream.add_argument("--threshold", type=float, default=0.8,
@@ -140,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard = subparsers.add_parser(
         "shard", help="sharded incremental estimates over a JSONL change log"
     )
+    add_engine_config(shard)
     shard.add_argument("--events", required=True,
                        help="path to a JSONL change log (insert/delete/checkpoint events)")
     shard.add_argument("--shards", type=int, default=4,
@@ -163,24 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--workers", type=int, default=None,
                        help="ingest worker threads (default: one per shard)")
     shard.add_argument("--snapshot", default=None,
-                       help="write the final cluster state to this file")
+                       help="write the final engine state to this file")
     shard.add_argument("--num-hashes", type=int, default=20,
                        help="hash functions per LSH table, k (default: 20)")
     shard.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
 
     rebalance = subparsers.add_parser(
         "rebalance",
-        help="resize / re-partition a checkpointed sharded cluster",
+        help="resize / re-partition a checkpointed sharded engine",
     )
     rebalance.add_argument("--snapshot", required=True,
-                           help="cluster snapshot written by 'repro shard --snapshot'")
+                           help="engine snapshot written by 'repro shard --snapshot' "
+                                "(raw cluster snapshots are also accepted)")
+    rebalance.add_argument("--config", default=None,
+                           help="JSON EngineConfig for restoring raw (pre-engine) "
+                                "cluster snapshots; engine snapshots carry their own")
     rebalance.add_argument("--shards", type=int, default=None,
                            help="target shard count S' (default: keep the current S)")
     rebalance.add_argument("--partitioner", choices=("modulo", "rendezvous"), default=None,
                            help="target partitioner (default: keep the snapshot's; "
                                 "rendezvous moves only ~1/S' of the keys on a resize)")
     rebalance.add_argument("--output", default=None,
-                           help="write the rebalanced cluster snapshot here; omitted "
+                           help="write the rebalanced engine snapshot here; omitted "
                                 "= dry run, print the migration plan only")
     rebalance.add_argument("--threshold", type=float, default=None,
                            help="optionally print a merged exact-mode estimate at τ "
@@ -189,53 +206,87 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ----------------------------------------------------------------------
+# engine construction (shared by estimate / stream / shard / rebalance)
+# ----------------------------------------------------------------------
+def _engine_config(
+    args: argparse.Namespace,
+    default_backend: str,
+    *,
+    dimension: Optional[int] = None,
+    options: Optional[dict] = None,
+) -> EngineConfig:
+    """One EngineConfig for any serving command: ``--config`` file or flags."""
+    if getattr(args, "config", None):
+        config = EngineConfig.from_file(args.config)
+        if config.dimension is None and dimension is not None:
+            config = config.replace(dimension=dimension)
+        return config
+    return EngineConfig(
+        backend=default_backend,
+        num_hashes=args.num_hashes,
+        seed=args.seed,
+        dimension=dimension,
+        options=options or {},
+    )
+
+
 def _build_collection(args: argparse.Namespace):
     factory = _PROFILES[args.profile]
     corpus = factory(num_vectors=args.num_vectors, random_state=args.seed)
     return corpus.collection
 
 
-def _build_estimators(
-    names: Sequence[str], collection, index: LSHIndex
-) -> List[SimilarityJoinSizeEstimator]:
-    table = index.primary_table
-    registry: Dict[str, SimilarityJoinSizeEstimator] = {
-        "lsh-ss": LSHSSEstimator(table),
-        "lsh-ss-d": LSHSSEstimator(table, dampening="auto"),
-        "lsh-s": LSHSEstimator(table),
-        "ju": UniformityEstimator(table),
-        "lc": LatticeCountingEstimator(table),
-        "rs": RandomPairSampling(collection),
-        "rs-cross": CrossSampling(collection),
-    }
-    missing = [name for name in names if name not in registry]
-    if missing:
-        raise ValidationError(f"unknown estimator name(s): {missing}")
-    return [registry[name] for name in names]
+def _require_mutable(config: EngineConfig, command: str) -> None:
+    if config.backend == "static":
+        raise ValidationError(
+            f"'repro {command}' replays mutations; the 'static' backend is "
+            "immutable — use a 'streaming' or 'sharded' engine config"
+        )
 
 
 def _command_estimate(args: argparse.Namespace) -> str:
     collection = _build_collection(args)
-    index = LSHIndex(collection, num_hashes=args.num_hashes, random_state=args.seed + 1)
-    estimators = _build_estimators(args.estimators, collection, index)
-    rows = []
-    for estimator in estimators:
-        estimate = estimator.estimate(args.threshold, random_state=args.seed)
-        rows.append([estimator.name, estimate.value])
+    config = _engine_config(args, "static", dimension=collection.dimension)
+    if config.backend != "static" and args.estimators is not None:
+        raise ValidationError(
+            f"--estimators selects flavors of the 'static' backend; the "
+            f"{config.backend!r} backend serves a single estimator"
+        )
+    rows: List[List[object]] = []
+    with JoinEstimationEngine(config) as engine:
+        engine.ingest(collection)
+        if config.backend == "static":
+            # the static backend serves every estimator flavor of the paper;
+            # with no explicit list, a config-declared default flavor wins
+            # over the CLI's lsh-ss/rs pair (None = backend's own default)
+            names = args.estimators
+            if names is None:
+                names = [None] if "estimator" in config.options else ["lsh-ss", "rs"]
+            for name in names:
+                result = engine.estimate(args.threshold, seed=args.seed, estimator=name)
+                rows.append([result.estimator, result.value])
+        else:
+            result = engine.estimate(args.threshold, seed=args.seed)
+            rows.append([result.estimator, result.value])
     if not args.no_exact:
         from repro.join import exact_join_size
 
         rows.append(["exact join", float(exact_join_size(collection, args.threshold))])
     return format_table(
         ["method", f"estimated J(τ={args.threshold})"], rows, float_format="{:.1f}",
-        title=f"{args.profile} profile, n={collection.size}, k={args.num_hashes}",
+        title=f"{args.profile} profile, n={collection.size}, k={config.num_hashes}, "
+        f"backend={config.backend}",
     )
 
 
 def _command_sweep(args: argparse.Namespace) -> str:
     collection = _build_collection(args)
     index = LSHIndex(collection, num_hashes=args.num_hashes, random_state=args.seed + 1)
-    estimators = _build_estimators(args.estimators, collection, index)
+    estimators = [
+        StaticBackend.build_estimator(name, index.primary_table, collection)
+        for name in args.estimators
+    ]
     runner = ExperimentRunner(
         collection,
         thresholds=args.thresholds,
@@ -269,59 +320,83 @@ def _command_probabilities(args: argparse.Namespace) -> str:
     )
 
 
-def _command_stream(args: argparse.Namespace) -> str:
-    from repro.streaming import ChangeLog, Checkpoint, Delete, Insert, MutableLSHIndex, StreamingEstimator
+def _load_event_log(args: argparse.Namespace):
+    from repro.streaming import ChangeLog
 
     if args.batch_size < 1:
         raise ValidationError(f"--batch-size must be >= 1, got {args.batch_size}")
     if not Path(args.events).is_file():
         raise ValidationError(f"event log not found: {args.events}")
-    log = ChangeLog.from_jsonl(args.events)
-    dimension = _infer_dimension(log, args.dimension)
-    index = MutableLSHIndex(
-        dimension, num_hashes=args.num_hashes, random_state=args.seed + 1
-    )
-    estimator = StreamingEstimator(
-        index, staleness_budget=args.staleness_budget, random_state=args.seed + 2
-    )
-    rng_seed = args.seed
+    return ChangeLog.from_jsonl(args.events)
 
-    rows = []
+
+def _replay_log(engine: JoinEstimationEngine, log, batch_size: int, emit_row):
+    """Drive a change log through an engine for the replay commands.
+
+    Shared by ``stream`` and ``shard`` so checkpoint/batch semantics
+    cannot diverge: checkpoints flush buffered writes and always emit
+    (labelled), batches emit every ``batch_size`` mutations, and a final
+    partial batch emits once at the end.  ``emit_row(event_number,
+    label)`` renders one report row.  Returns ``(inserts, deletes)``.
+    """
+    from repro.streaming import Checkpoint, Delete, Insert
+
     inserts = deletes = pending = 0
-
-    def emit_row(event_number: int, label: str) -> None:
-        estimate = estimator.estimate(args.threshold, random_state=rng_seed + event_number, mode=args.mode)
-        rows.append(
-            [
-                event_number,
-                label,
-                index.size,
-                index.num_collision_pairs,
-                index.num_non_collision_pairs,
-                estimate.value,
-            ]
-        )
-
     for event_number, event in enumerate(log, 1):
-        if isinstance(event, Insert):
-            index.insert(event.vector)
-            inserts += 1
-            pending += 1
-        elif isinstance(event, Delete):
-            index.delete(event.vector_id)
-            deletes += 1
-            pending += 1
-        elif isinstance(event, Checkpoint):
+        if isinstance(event, Checkpoint):
+            engine.flush()
             emit_row(event_number, event.label or "checkpoint")
             pending = 0
-        if pending >= args.batch_size:
+            continue
+        engine.ingest(event)
+        if isinstance(event, Insert):
+            inserts += 1
+        elif isinstance(event, Delete):
+            deletes += 1
+        pending += 1
+        if pending >= batch_size:
+            engine.flush()
             emit_row(event_number, f"batch of {pending}")
             pending = 0
     if pending:
         emit_row(len(log), f"final batch of {pending}")
+    return inserts, deletes
+
+
+def _command_stream(args: argparse.Namespace) -> str:
+    log = _load_event_log(args)
+    dimension = _infer_dimension(log, args.dimension)
+    config = _engine_config(
+        args, "streaming",
+        dimension=dimension,
+        options={"staleness_budget": args.staleness_budget},
+    )
+    _require_mutable(config, "stream")
+
+    rows = []
+    with JoinEstimationEngine(config) as engine:
+
+        def emit_row(event_number: int, label: str) -> None:
+            result = engine.estimate(
+                args.threshold, seed=args.seed + event_number, mode=args.mode
+            )
+            stats = result.provenance.backend_details
+            rows.append(
+                [
+                    event_number,
+                    label,
+                    stats["size"],
+                    stats["num_collision_pairs"],
+                    stats["num_non_collision_pairs"],
+                    result.value,
+                ]
+            )
+
+        inserts, deletes = _replay_log(engine, log, args.batch_size, emit_row)
     summary = (
         f"Streaming estimates — {args.events}: {inserts} inserts, {deletes} deletes, "
-        f"τ={args.threshold}, k={args.num_hashes}, mode={args.mode}"
+        f"τ={args.threshold}, k={config.num_hashes}, mode={args.mode}, "
+        f"backend={config.backend}"
     )
     return format_table(
         ["event", "trigger", "n", "N_H", "N_L", f"estimate J(τ={args.threshold})"],
@@ -345,75 +420,55 @@ def _infer_dimension(log, explicit: Optional[int]) -> int:
 
 
 def _command_shard(args: argparse.Namespace) -> str:
-    from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
-    from repro.streaming import ChangeLog, Checkpoint, Delete, Insert
-
-    if args.batch_size < 1:
-        raise ValidationError(f"--batch-size must be >= 1, got {args.batch_size}")
-    if not Path(args.events).is_file():
-        raise ValidationError(f"event log not found: {args.events}")
-    log = ChangeLog.from_jsonl(args.events)
+    log = _load_event_log(args)
     dimension = _infer_dimension(log, args.dimension)
-    index = ShardedMutableIndex(
-        dimension,
-        num_shards=args.shards,
-        num_hashes=args.num_hashes,
-        random_state=args.seed + 1,
-        partitioner=args.partitioner,
-        # the exact path never reads reservoirs: skip per-shard repair work
-        shard_estimators=args.mode != "exact",
+    config = _engine_config(
+        args, "sharded",
+        dimension=dimension,
+        options={
+            "num_shards": args.shards,
+            "partitioner": args.partitioner,
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            # the exact path never reads reservoirs: skip per-shard repair work
+            "shard_estimators": args.mode != "exact",
+        },
     )
-    router = ShardRouter(index, batch_size=args.batch_size, max_workers=args.workers)
-    # the router-aware estimator flushes buffered inserts before estimating
-    estimator = ShardedStreamingEstimator(index, router=router)
+    if config.backend != "sharded":
+        raise ValidationError(
+            f"'repro shard' needs a 'sharded' engine config, got {config.backend!r}"
+        )
 
     rows = []
-    inserts = deletes = pending = 0
+    with JoinEstimationEngine(config) as engine:
 
-    def emit_row(event_number: int, label: str) -> None:
-        estimate = estimator.estimate(
-            args.threshold, random_state=args.seed + event_number, mode=args.mode
-        )
-        shard_sizes = "/".join(str(shard.size) for shard in index.shards)
-        rows.append(
-            [
-                event_number,
-                label,
-                index.size,
-                shard_sizes,
-                index.num_collision_pairs,
-                index.num_non_collision_pairs,
-                estimate.value,
-            ]
-        )
+        def emit_row(event_number: int, label: str) -> None:
+            result = engine.estimate(
+                args.threshold, seed=args.seed + event_number, mode=args.mode
+            )
+            stats = result.provenance.backend_details
+            rows.append(
+                [
+                    event_number,
+                    label,
+                    stats["size"],
+                    "/".join(str(n) for n in stats["shard_sizes"]),
+                    stats["num_collision_pairs"],
+                    stats["num_non_collision_pairs"],
+                    result.value,
+                ]
+            )
 
-    for event_number, event in enumerate(log, 1):
-        if isinstance(event, Insert):
-            router.insert(event.vector)
-            inserts += 1
-            pending += 1
-        elif isinstance(event, Delete):
-            router.delete(event.vector_id)
-            deletes += 1
-            pending += 1
-        elif isinstance(event, Checkpoint):
-            router.flush()
-            emit_row(event_number, event.label or "checkpoint")
-            pending = 0
-        if pending >= args.batch_size:
-            router.flush()
-            emit_row(event_number, f"batch of {pending}")
-            pending = 0
-    router.close()
-    if pending:
-        emit_row(len(log), f"final batch of {pending}")
-    if args.snapshot:
-        index.snapshot(args.snapshot)
+        inserts, deletes = _replay_log(engine, log, args.batch_size, emit_row)
+        if args.snapshot:
+            engine.snapshot(args.snapshot)
+        num_shards = engine.backend.index.num_shards
+        partitioner_kind = engine.backend.index.partitioner.kind
     summary = (
         f"Sharded streaming estimates — {args.events}: {inserts} inserts, "
-        f"{deletes} deletes over {args.shards} shards "
-        f"({args.partitioner} partitioner), τ={args.threshold}, "
-        f"k={args.num_hashes}, mode={args.mode}"
+        f"{deletes} deletes over {num_shards} shards "
+        f"({partitioner_kind} partitioner), τ={args.threshold}, "
+        f"k={config.num_hashes}, mode={args.mode}"
         + (f"; snapshot → {args.snapshot}" if args.snapshot else "")
     )
     return format_table(
@@ -426,12 +481,12 @@ def _command_shard(args: argparse.Namespace) -> str:
 
 
 def _command_rebalance(args: argparse.Namespace) -> str:
-    from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator
-    from repro.shard.rebalance import plan_rebalance, rebalance_cluster
-
-    if not Path(args.snapshot).is_file():
-        raise ValidationError(f"cluster snapshot not found: {args.snapshot}")
-    cluster = ShardedMutableIndex.restore(args.snapshot)
+    engine = JoinEstimationEngine.restore(args.snapshot, config=args.config)
+    if engine.config.backend != "sharded":
+        raise ValidationError(
+            f"'repro rebalance' needs a sharded engine, got {engine.config.backend!r}"
+        )
+    cluster = engine.backend.index
     current_shards = cluster.num_shards
     current_kind = cluster.partitioner.kind
     target_shards = current_shards if args.shards is None else args.shards
@@ -439,33 +494,24 @@ def _command_rebalance(args: argparse.Namespace) -> str:
     sizes_before = [shard.size for shard in cluster.shards]
     estimate_before = estimate_after = None
     if args.threshold is not None:
-        estimate_before = ShardedStreamingEstimator(cluster).estimate(
-            args.threshold, random_state=args.seed, mode="exact"
-        )
+        estimate_before = engine.estimate(args.threshold, seed=args.seed, mode="exact")
     if args.output is None:
-        # dry run: plan against the target assignment without touching state
-        from repro.shard.partition import resolve_partitioner
-
-        if target_shards > current_shards:
-            cluster.add_shards(target_shards, estimator_seed=args.seed)
-        plan = plan_rebalance(cluster, resolve_partitioner(target_kind, target_shards))
+        # dry run: plan against the target assignment without migrating
+        plan = engine.rebalance(
+            num_shards=target_shards, partitioner=target_kind, dry_run=True
+        )
         applied = "dry run — no state was changed (pass --output to apply)"
         sizes_after = None
     else:
-        plan = rebalance_cluster(
-            cluster,
-            num_shards=target_shards,
-            partitioner=target_kind,
-            estimator_seed=args.seed,
-        )
+        plan = engine.rebalance(num_shards=target_shards, partitioner=target_kind)
+        cluster = engine.backend.index
         cluster.check_invariants()
         sizes_after = [shard.size for shard in cluster.shards]
         if args.threshold is not None:
-            estimate_after = ShardedStreamingEstimator(cluster).estimate(
-                args.threshold, random_state=args.seed, mode="exact"
-            )
-        cluster.snapshot(args.output)
-        applied = f"rebalanced cluster written to {args.output}"
+            estimate_after = engine.estimate(args.threshold, seed=args.seed, mode="exact")
+        engine.snapshot(args.output)
+        applied = f"rebalanced engine written to {args.output}"
+    engine.close()
     rows = [
         ["shards", current_shards, target_shards],
         ["partitioner", current_kind, target_kind],

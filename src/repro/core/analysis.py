@@ -11,7 +11,9 @@ and the closed-form estimator J_U of Eq. (4).
 For cosine similarity with Charikar's sign-random-projection family the
 idealised property holds for the *angular* similarity
 ``1 − arccos(cos)/π``; :func:`transform_threshold` maps cosine thresholds
-into that space before applying the formulas (see DESIGN.md).
+into that space before applying the formulas
+(``benchmarks/bench_ablation_collision_model.py`` quantifies how much the
+correction matters).
 """
 
 from __future__ import annotations

@@ -56,7 +56,8 @@ class SimilarityJoinSizeEstimator(abc.ABC):
 
     Subclasses implement :meth:`_estimate`; the public :meth:`estimate`
     validates the threshold, clamps the result to the feasible range
-    ``[0, M]`` and wraps it into an :class:`Estimate`.
+    ``[0, M]`` (for every subclass — the clamp lives only here) and wraps
+    it into an :class:`Estimate`.
     """
 
     #: Human-readable estimator name used in reports (e.g. ``"LSH-SS"``).
@@ -71,7 +72,9 @@ class SimilarityJoinSizeEstimator(abc.ABC):
     def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
         """Produce the raw estimate for a validated ``threshold``."""
 
-    def estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
+    def estimate(
+        self, threshold: float, *, random_state: RandomState = None, **options: Any
+    ) -> Estimate:
         """Estimate the join size at similarity threshold ``threshold``.
 
         Parameters
@@ -81,9 +84,18 @@ class SimilarityJoinSizeEstimator(abc.ABC):
         random_state:
             Seed or generator for the stochastic estimators; deterministic
             estimators ignore it.
+        **options:
+            Forwarded to the subclass's :meth:`_estimate` (e.g. the
+            streaming estimators' ``mode``); subclasses that take options
+            validate them before delegating here.
+
+        This is the single enforcement point of the feasible range: every
+        estimator — static, streaming, or sharded — has its raw value
+        clamped to ``[0, M]`` here, so no subclass can return a negative
+        or ``> total_pairs`` estimate.
         """
         self.validate_threshold(threshold)
-        estimate = self._estimate(float(threshold), random_state=random_state)
+        estimate = self._estimate(float(threshold), random_state=random_state, **options)
         estimate.value = float(min(max(estimate.value, 0.0), float(self.total_pairs)))
         return estimate
 

@@ -7,7 +7,8 @@ similarity, which is exactly the LSH property, so §3.2 of the paper
 adapts it to vectors by building the signatures with a cosine LSH scheme.
 The original LC algorithm is a separate publication treated as a black
 box; this module provides a faithful-in-spirit adaptation built purely on
-the signature database (see DESIGN.md "Fidelity notes"):
+the signature database (a reproduction-specific substitution — the steps
+below are this module's, not the 2009 paper's):
 
 1.  For every prefix length ``j ≤ k`` compute ``N_j``, the number of pairs
     whose first ``j`` hash values all collide.  Under the LSH property

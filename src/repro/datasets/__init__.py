@@ -8,7 +8,9 @@ pair-similarity distribution), matched average vector lengths, binary vs
 TF-IDF weighting, and planted near-duplicate clusters so the join is
 non-empty even at τ = 0.9.
 
-See ``DESIGN.md`` § "Fidelity notes & substitutions" for the rationale.
+See the README's "Reference" section for the paper artefacts these
+corpora stand in for; :mod:`repro.datasets.profiles` documents the
+per-profile fidelity substitutions.
 """
 
 from repro.datasets.synthetic import (

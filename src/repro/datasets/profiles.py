@@ -14,7 +14,7 @@ PUBMED-like TF-IDF      ≈34            ~12 tokens per vector   sparse duplicat
 =========== ==========  =============  ======================  =========================
 
 Two planted tiers shape the pair-similarity distribution the way the
-paper's real corpora behave (see DESIGN.md, fidelity notes):
+paper's real corpora behave (the reproduction's corpus substitutions):
 
 * a **duplicate tier** — small clusters of exact / near-exact copies that
   populate the τ ≥ 0.8 join and land in the same LSH bucket (this is what

@@ -1,0 +1,56 @@
+"""Unified estimation engine: one front-door API over every backend.
+
+The repo grew four ways to get a join-size estimate — static
+``LSHIndex`` + ``LSHSSEstimator``, single-node ``MutableLSHIndex`` +
+``StreamingEstimator``, sharded clusters, and rebalanced clusters — each
+with its own construction ritual.  This package collapses them behind
+one seam:
+
+* :mod:`~repro.engine.config` — :class:`EngineConfig`, the declarative,
+  JSON round-trippable description of a deployment (family, ``k``,
+  seed, backend kind + options).
+* :mod:`~repro.engine.backends` — the :class:`EstimatorBackend`
+  protocol, the :func:`register_backend` registry, and the ``static`` /
+  ``streaming`` / ``sharded`` implementations delegating to the
+  existing layers (estimates stay bit-identical to direct construction
+  for the same seed).
+* :mod:`~repro.engine.engine` — :class:`JoinEstimationEngine` with the
+  single lifecycle ``open → ingest → estimate → snapshot/restore →
+  rebalance → close``, and the :class:`EstimateRequest` /
+  :class:`EstimateResult` envelopes with full provenance.
+
+New deployment shapes (e.g. multi-process/RPC shard workers) register a
+backend kind and become reachable through the same caller code.
+"""
+
+from repro.engine.backends import (
+    EstimatorBackend,
+    ShardedBackend,
+    StaticBackend,
+    StreamingBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import (
+    EstimateRequest,
+    EstimateResult,
+    JoinEstimationEngine,
+    Provenance,
+)
+
+__all__ = [
+    "EngineConfig",
+    "EstimateRequest",
+    "EstimateResult",
+    "Provenance",
+    "JoinEstimationEngine",
+    "EstimatorBackend",
+    "StaticBackend",
+    "StreamingBackend",
+    "ShardedBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]

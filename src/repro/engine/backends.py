@@ -1,0 +1,701 @@
+"""Estimation backends: one protocol, a registry, three implementations.
+
+A backend owns one deployment shape of the LSH-SS machinery and adapts
+it to the engine lifecycle (``open`` / ingest / ``estimate`` /
+``to_state`` / ``close``).  The engine never imports a concrete backend —
+it resolves the configured kind through the registry — so new shapes
+(e.g. the planned multi-process/RPC shard workers) plug in by decorating
+a class with :func:`register_backend` and need no caller changes:
+
+* ``static`` — :class:`~repro.lsh.index.LSHIndex` over an immutable
+  collection, serving any of the paper's estimators (LSH-SS, LSH-S, JU,
+  LC, RS, …) selected per request;
+* ``streaming`` — :class:`~repro.streaming.mutable_index.MutableLSHIndex`
+  + :class:`~repro.streaming.estimator.StreamingEstimator` under
+  insert/delete churn;
+* ``sharded`` — :class:`~repro.shard.sharded_index.ShardedMutableIndex`
+  behind a buffered :class:`~repro.shard.router.ShardRouter`, with
+  online rebalancing.
+
+Delegation is thin on purpose: for equal seeds, the estimate a backend
+serves is **bit-identical** to constructing the underlying layers by
+hand (index from ``seed + 1``, maintenance generator from ``seed + 2``,
+the per-request seed passed straight through) — the facade adds
+provenance, not arithmetic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple, Type
+
+from scipy import sparse
+
+from repro.core import (
+    CrossSampling,
+    Estimate,
+    LatticeCountingEstimator,
+    LSHSEstimator,
+    LSHSSEstimator,
+    RandomPairSampling,
+    UniformityEstimator,
+)
+from repro.engine.config import EngineConfig
+from repro.errors import UnsupportedOperationError, ValidationError
+from repro.lsh import LSHIndex
+from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
+from repro.shard.partition import resolve_partitioner
+from repro.shard.rebalance import RebalancePlan, plan_rebalance, rebalance_cluster
+from repro.streaming import Checkpoint, Delete, Insert, MutableLSHIndex, StreamingEstimator
+from repro.streaming.mutable_index import coerce_row
+from repro.vectors import VectorCollection
+
+_REGISTRY: Dict[str, Type["EstimatorBackend"]] = {}
+
+
+def register_backend(kind: str):
+    """Class decorator registering an :class:`EstimatorBackend` under ``kind``.
+
+    The kind becomes the value of ``EngineConfig.backend`` that selects
+    the class; registering an already-taken kind raises, so a plugin
+    cannot silently shadow a built-in.
+    """
+
+    def decorator(cls: Type["EstimatorBackend"]) -> Type["EstimatorBackend"]:
+        if not (isinstance(cls, type) and issubclass(cls, EstimatorBackend)):
+            raise ValidationError(
+                f"register_backend needs an EstimatorBackend subclass, got {cls!r}"
+            )
+        if kind in _REGISTRY:
+            raise ValidationError(f"backend kind {kind!r} is already registered")
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return decorator
+
+
+def resolve_backend(kind: str) -> Type["EstimatorBackend"]:
+    """The backend class registered under ``kind`` (raises on unknown kinds)."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError as error:
+        raise ValidationError(
+            f"unknown backend kind {kind!r}; registered: {available_backends()}"
+        ) from error
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+class EstimatorBackend(abc.ABC):
+    """The protocol every deployment shape implements for the engine.
+
+    Subclasses declare ``OPTIONS`` (the ``EngineConfig.options`` keys
+    they understand — validated at config time) and ``CAPABILITIES``
+    (informational tags such as ``"mutable"`` / ``"rebalance"``), and are
+    constructed *closed*: the engine calls :meth:`open` exactly once
+    before any other method.
+    """
+
+    #: registered kind string (set by :func:`register_backend`)
+    kind: ClassVar[str] = "abstract"
+    #: option keys this backend accepts in ``EngineConfig.options``
+    OPTIONS: ClassVar[FrozenSet[str]] = frozenset()
+    #: informational capability tags ("mutable", "rebalance", …)
+    CAPABILITIES: ClassVar[FrozenSet[str]] = frozenset()
+
+    def __init__(self, config: EngineConfig):
+        self.config = config
+
+    # -- lifecycle -----------------------------------------------------
+    @abc.abstractmethod
+    def open(self) -> None:
+        """Build the backing index/estimator stack (called once)."""
+
+    def close(self) -> None:
+        """Release executors / detach observers; must be idempotent."""
+
+    def flush(self) -> None:
+        """Make buffered writes visible (no-op for unbuffered backends)."""
+
+    # -- ingest --------------------------------------------------------
+    @abc.abstractmethod
+    def ingest_collection(self, collection: VectorCollection) -> int:
+        """Bulk-load a collection; returns the number of vectors added."""
+
+    @abc.abstractmethod
+    def apply_event(self, event: object) -> int:
+        """Apply one Insert/Delete/Checkpoint; returns mutations applied (0/1)."""
+
+    # -- estimation ----------------------------------------------------
+    @abc.abstractmethod
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        mode: str = "auto",
+        random_state=None,
+        estimator: Optional[str] = None,
+    ) -> Estimate:
+        """Serve one raw :class:`~repro.core.base.Estimate`."""
+
+    @abc.abstractmethod
+    def describe(self) -> Dict[str, Any]:
+        """Provenance fields (strata sizes, shard layout, staleness, …)."""
+
+    # -- state ---------------------------------------------------------
+    @abc.abstractmethod
+    def to_state(self) -> Dict[str, Any]:
+        """A picklable checkpoint tagged with ``{"kind": "<kind>-backend"}``."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "EstimatorBackend":
+        """Rebuild an *open* backend from :meth:`to_state` output."""
+
+    # -- optional operations -------------------------------------------
+    def rebalance(
+        self,
+        *,
+        num_shards: Optional[int] = None,
+        partitioner: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> RebalancePlan:
+        raise UnsupportedOperationError(
+            f"backend {self.kind!r} does not support rebalancing "
+            "(only 'sharded' clusters can migrate key ranges)"
+        )
+
+    # -- statistics ----------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of live vectors."""
+
+    @property
+    @abc.abstractmethod
+    def total_pairs(self) -> int:
+        """Candidate pairs ``M = C(n, 2)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(kind={self.kind!r}, n={self.size})"
+
+
+def _check_state(state: Mapping[str, Any], kind: str) -> None:
+    if state.get("format") != 1 or state.get("kind") != f"{kind}-backend":
+        raise ValidationError(f"not a {kind!r} backend snapshot")
+
+
+# ----------------------------------------------------------------------
+# static
+# ----------------------------------------------------------------------
+@register_backend("static")
+class StaticBackend(EstimatorBackend):
+    """Batch-built :class:`LSHIndex` over an immutable collection.
+
+    Rows accumulate through :meth:`ingest_collection` (or insert events);
+    the index and estimators are built lazily at the first estimate and
+    invalidated by further ingest (a full rebuild — the static shape has
+    no incremental path; that is what ``streaming`` is for).  Deletes
+    raise :class:`UnsupportedOperationError`.
+
+    Options
+    -------
+    ``estimator``
+        Default estimator flavor served when a request names none; one
+        of ``lsh-ss`` (default), ``lsh-ss-d``, ``lsh-s``, ``ju``, ``lc``,
+        ``rs``, ``rs-cross``.
+    ``estimator_kwargs``
+        Extra constructor keywords for the served estimators
+        (``sample_size_h``, ``answer_threshold``, …).
+    """
+
+    OPTIONS = frozenset({"estimator", "estimator_kwargs"})
+    CAPABILITIES = frozenset({"multi-estimator"})
+
+    #: request/estimator-name → builder(table, collection, **kwargs); the
+    #: single registry of servable flavors (the CLI derives its choices
+    #: and the sweep command its constructions from here)
+    _ESTIMATORS = {
+        "lsh-ss": lambda table, collection, **kw: LSHSSEstimator(table, **kw),
+        "lsh-ss-d": lambda table, collection, **kw: LSHSSEstimator(table, dampening="auto", **kw),
+        "lsh-s": lambda table, collection, **kw: LSHSEstimator(table, **kw),
+        "ju": lambda table, collection, **kw: UniformityEstimator(table, **kw),
+        "lc": lambda table, collection, **kw: LatticeCountingEstimator(table, **kw),
+        "rs": lambda table, collection, **kw: RandomPairSampling(collection, **kw),
+        "rs-cross": lambda table, collection, **kw: CrossSampling(collection, **kw),
+    }
+
+    @classmethod
+    def estimator_names(cls) -> Tuple[str, ...]:
+        """The estimator flavors this backend can serve, in registry order."""
+        return tuple(cls._ESTIMATORS)
+
+    @classmethod
+    def build_estimator(cls, name: str, table, collection, **kwargs):
+        """Construct one named estimator flavor over a table/collection."""
+        if name not in cls._ESTIMATORS:
+            raise ValidationError(
+                f"unknown estimator {name!r}; expected one of {sorted(cls._ESTIMATORS)}"
+            )
+        return cls._ESTIMATORS[name](table, collection, **kwargs)
+
+    def open(self) -> None:
+        self._dimension: Optional[int] = self.config.dimension
+        self._blocks: list = []  # csr blocks, vstacked lazily
+        self._num_rows = 0
+        self._index: Optional[LSHIndex] = None
+        self._estimators: Dict[str, object] = {}
+
+    def _invalidate(self) -> None:
+        self._index = None
+        self._estimators = {}
+
+    def ingest_collection(self, collection: VectorCollection) -> int:
+        if self._dimension is None:
+            self._dimension = collection.dimension
+        elif collection.dimension != self._dimension:
+            raise ValidationError(
+                f"collection dimension {collection.dimension} != engine dimension {self._dimension}"
+            )
+        self._blocks.append(collection.matrix.tocsr())
+        self._num_rows += collection.size
+        self._invalidate()
+        return collection.size
+
+    def apply_event(self, event: object) -> int:
+        if isinstance(event, Insert):
+            if self._dimension is None:
+                if hasattr(event.vector, "items"):
+                    raise ValidationError(
+                        "static backend needs config.dimension (or a prior "
+                        "collection ingest) before sparse insert events"
+                    )
+                self._dimension = len(event.vector)
+            self._blocks.append(coerce_row(event.vector, self._dimension))
+            self._num_rows += 1
+            self._invalidate()
+            return 1
+        if isinstance(event, Delete):
+            raise UnsupportedOperationError(
+                "backend 'static' is immutable: deletes need the 'streaming' "
+                "or 'sharded' backend"
+            )
+        if isinstance(event, Checkpoint):
+            return 0
+        raise ValidationError(f"unknown event type: {type(event).__name__}")
+
+    # ------------------------------------------------------------------
+    def _built_index(self) -> LSHIndex:
+        if self._index is None:
+            if not self._blocks:
+                raise ValidationError("static backend has no ingested vectors to index")
+            collection = VectorCollection(sparse.vstack(self._blocks, format="csr"), copy=False)
+            self._index = LSHIndex(
+                collection,
+                num_hashes=self.config.num_hashes,
+                num_tables=self.config.num_tables,
+                family=self.config.family,
+                random_state=self.config.seed + 1,
+            )
+        return self._index
+
+    def _estimator(self, name: Optional[str]):
+        name = name or self.config.options.get("estimator", "lsh-ss")
+        if name not in self._estimators:
+            index = self._built_index()
+            kwargs = dict(self.config.options.get("estimator_kwargs", {}))
+            self._estimators[name] = self.build_estimator(
+                name, index.primary_table, index.collection, **kwargs
+            )
+        return self._estimators[name]
+
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        mode: str = "auto",
+        random_state=None,
+        estimator: Optional[str] = None,
+    ) -> Estimate:
+        if mode not in ("auto", "exact"):
+            raise ValidationError(
+                f"backend 'static' serves modes ('auto', 'exact'), got {mode!r}"
+            )
+        return self._estimator(estimator).estimate(threshold, random_state=random_state)
+
+    def describe(self) -> Dict[str, Any]:
+        description: Dict[str, Any] = {
+            "size": self.size,
+            "total_pairs": self.total_pairs,
+        }
+        # strata sizes only when the index exists: describe() is a cheap
+        # diagnostic and must not force (or crash on) the lazy build
+        if self._index is not None:
+            table = self._index.primary_table
+            description["num_collision_pairs"] = table.num_collision_pairs
+            description["num_non_collision_pairs"] = table.num_non_collision_pairs
+        return description
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        matrix = sparse.vstack(self._blocks, format="csr") if self._blocks else None
+        return {"format": 1, "kind": "static-backend", "matrix": matrix}
+
+    @classmethod
+    def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "StaticBackend":
+        _check_state(state, "static")
+        backend = cls(config)
+        backend.open()
+        if state["matrix"] is not None:
+            backend.ingest_collection(VectorCollection(state["matrix"], copy=False))
+        return backend
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._num_rows
+
+    @property
+    def total_pairs(self) -> int:
+        return self._num_rows * (self._num_rows - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# streaming
+# ----------------------------------------------------------------------
+@register_backend("streaming")
+class StreamingBackend(EstimatorBackend):
+    """Single-node mutable index with a reservoir-repaired estimator.
+
+    Options
+    -------
+    ``reservoir_size`` / ``staleness_budget`` / ``sample_size_h`` /
+    ``sample_size_l`` / ``answer_threshold`` / ``dampening``
+        Passed to :class:`StreamingEstimator` verbatim.
+    """
+
+    OPTIONS = frozenset(
+        {
+            "reservoir_size",
+            "staleness_budget",
+            "sample_size_h",
+            "sample_size_l",
+            "answer_threshold",
+            "dampening",
+        }
+    )
+    CAPABILITIES = frozenset({"mutable"})
+
+    def open(self) -> None:
+        if self.config.dimension is None:
+            raise ValidationError(
+                "backend 'streaming' needs config.dimension (hash families "
+                "bind to the vector space eagerly)"
+            )
+        self._index = MutableLSHIndex(
+            self.config.dimension,
+            num_hashes=self.config.num_hashes,
+            num_tables=self.config.num_tables,
+            family=self.config.family,
+            random_state=self.config.seed + 1,
+        )
+        self._estimator = StreamingEstimator(
+            self._index,
+            random_state=self.config.seed + 2,
+            **self.config.options,
+        )
+
+    def close(self) -> None:
+        self._estimator.close()
+
+    def ingest_collection(self, collection: VectorCollection) -> int:
+        self._index.insert_many(collection.matrix)
+        return collection.size
+
+    def apply_event(self, event: object) -> int:
+        if isinstance(event, Insert):
+            self._index.insert(event.vector)
+            return 1
+        if isinstance(event, Delete):
+            self._index.delete(event.vector_id)
+            return 1
+        if isinstance(event, Checkpoint):
+            return 0
+        raise ValidationError(f"unknown event type: {type(event).__name__}")
+
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        mode: str = "auto",
+        random_state=None,
+        estimator: Optional[str] = None,
+    ) -> Estimate:
+        if estimator is not None:
+            raise UnsupportedOperationError(
+                "backend 'streaming' serves a single LSH-SS(stream) estimator; "
+                "per-request estimator selection needs the 'static' backend"
+            )
+        return self._estimator.estimate(threshold, random_state=random_state, mode=mode)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "size": self.size,
+            "total_pairs": self.total_pairs,
+            "num_collision_pairs": self._index.num_collision_pairs,
+            "num_non_collision_pairs": self._index.num_non_collision_pairs,
+            "staleness": {
+                "h": self._estimator.staleness_h,
+                "l": self._estimator.staleness_l,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        # index state embeds the registered estimator's reservoirs
+        return {"format": 1, "kind": "streaming-backend", "index": self._index.to_state()}
+
+    @classmethod
+    def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "StreamingBackend":
+        _check_state(state, "streaming")
+        backend = cls(config)
+        backend._index = MutableLSHIndex.from_state(state["index"])
+        restored = backend._index.estimators
+        if restored:
+            backend._estimator = restored[0]
+        else:  # snapshot predates estimator persistence: redraw
+            backend._estimator = StreamingEstimator(
+                backend._index, random_state=config.seed + 2, **config.options
+            )
+        return backend
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> MutableLSHIndex:
+        """The backing mutable index (advanced / diagnostic access)."""
+        return self._index
+
+    @property
+    def size(self) -> int:
+        return self._index.size
+
+    @property
+    def total_pairs(self) -> int:
+        return self._index.total_pairs
+
+
+# ----------------------------------------------------------------------
+# sharded
+# ----------------------------------------------------------------------
+@register_backend("sharded")
+class ShardedBackend(EstimatorBackend):
+    """Bucket-key-partitioned cluster behind a buffered router.
+
+    Options
+    -------
+    ``num_shards`` (default 4), ``partitioner`` (``"modulo"`` /
+    ``"rendezvous"``), ``shard_estimators``, ``estimator_kwargs``
+        Passed to :class:`ShardedMutableIndex`.
+    ``batch_size`` (default 256), ``workers``
+        Passed to :class:`ShardRouter` (``workers=None`` = one per shard).
+    ``sample_size_h`` / ``sample_size_l`` / ``answer_threshold`` /
+    ``dampening``
+        Passed to the merged :class:`ShardedStreamingEstimator`.
+    """
+
+    OPTIONS = frozenset(
+        {
+            "num_shards",
+            "partitioner",
+            "shard_estimators",
+            "estimator_kwargs",
+            "batch_size",
+            "workers",
+            "sample_size_h",
+            "sample_size_l",
+            "answer_threshold",
+            "dampening",
+        }
+    )
+    CAPABILITIES = frozenset({"mutable", "rebalance"})
+
+    _MERGE_KEYS = ("sample_size_h", "sample_size_l", "answer_threshold", "dampening")
+
+    def open(self) -> None:
+        if self.config.dimension is None:
+            raise ValidationError(
+                "backend 'sharded' needs config.dimension (hash families "
+                "bind to the vector space eagerly)"
+            )
+        options = self.config.options
+        self._index = ShardedMutableIndex(
+            self.config.dimension,
+            num_shards=options.get("num_shards", 4),
+            num_hashes=self.config.num_hashes,
+            num_tables=self.config.num_tables,
+            family=self.config.family,
+            random_state=self.config.seed + 1,
+            partitioner=options.get("partitioner", "modulo"),
+            shard_estimators=options.get("shard_estimators", True),
+            estimator_kwargs=options.get("estimator_kwargs"),
+        )
+        self._attach_serving_stack()
+
+    def _attach_serving_stack(self) -> None:
+        options = self.config.options
+        self._router = ShardRouter(
+            self._index,
+            batch_size=options.get("batch_size", 256),
+            max_workers=options.get("workers"),
+        )
+        merge_kwargs = {key: options[key] for key in self._MERGE_KEYS if key in options}
+        self._estimator = ShardedStreamingEstimator(
+            self._index, router=self._router, **merge_kwargs
+        )
+
+    def close(self) -> None:
+        self._router.close()
+
+    def flush(self) -> None:
+        self._router.flush()
+
+    def ingest_collection(self, collection: VectorCollection) -> int:
+        self._router.flush()  # keep id assignment in ingest order
+        self._index.insert_many(collection.matrix)
+        return collection.size
+
+    def apply_event(self, event: object) -> int:
+        if isinstance(event, Insert):
+            self._router.insert(event.vector)
+            return 1
+        if isinstance(event, Delete):
+            self._router.delete(event.vector_id)
+            return 1
+        if isinstance(event, Checkpoint):
+            # checkpoints mean "consistent point": drain the write buffer,
+            # matching ShardRouter.replay and the CLI replay loops
+            self._router.flush()
+            return 0
+        raise ValidationError(f"unknown event type: {type(event).__name__}")
+
+    def estimate(
+        self,
+        threshold: float,
+        *,
+        mode: str = "auto",
+        random_state=None,
+        estimator: Optional[str] = None,
+    ) -> Estimate:
+        if estimator is not None:
+            raise UnsupportedOperationError(
+                "backend 'sharded' serves a single LSH-SS(sharded) estimator; "
+                "per-request estimator selection needs the 'static' backend"
+            )
+        return self._estimator.estimate(threshold, random_state=random_state, mode=mode)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "size": self.size,
+            "total_pairs": self.total_pairs,
+            "num_collision_pairs": self._index.num_collision_pairs,
+            "num_non_collision_pairs": self._index.num_non_collision_pairs,
+            "num_shards": self._index.num_shards,
+            "shard_sizes": [shard.size for shard in self._index.shards],
+            "partitioner": self._index.partitioner.kind,
+            "pending_writes": self._router.pending,
+        }
+
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        *,
+        num_shards: Optional[int] = None,
+        partitioner: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> RebalancePlan:
+        """Resize / re-partition the live cluster (or just plan it).
+
+        ``dry_run`` diffs live bucket owners against the target
+        assignment and leaves the cluster untouched (shards temporarily
+        appended for a growth plan are dropped again before returning).
+        An applied rebalance updates ``self.config`` so later snapshots
+        describe the adopted shape.
+        """
+        self._router.flush()
+        current = self._index.num_shards
+        target_shards = current if num_shards is None else int(num_shards)
+        target_kind = self._index.partitioner.kind if partitioner is None else partitioner
+        if dry_run:
+            # plan_rebalance needs the target shard count to exist; the
+            # appended shards are empty, so dropping them restores state
+            if target_shards > current:
+                self._index.add_shards(target_shards, estimator_seed=self.config.seed + 3)
+            try:
+                return plan_rebalance(
+                    self._index, resolve_partitioner(target_kind, target_shards)
+                )
+            finally:
+                if target_shards > current:
+                    self._index.drop_trailing_shards(current)
+        plan = rebalance_cluster(
+            self._index,
+            num_shards=target_shards,
+            partitioner=target_kind,
+            estimator_seed=self.config.seed + 3,
+        )
+        self.config = self.config.replace(
+            options={
+                **self.config.options,
+                "num_shards": self._index.num_shards,
+                "partitioner": self._index.partitioner.kind,
+            }
+        )
+        if self._index.num_shards != current:
+            # resize the router's worker pool to the new shard count
+            self._router.close()
+            self._attach_serving_stack()
+        return plan
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        self._router.flush()
+        return {"format": 1, "kind": "sharded-backend", "index": self._index.to_state()}
+
+    @classmethod
+    def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "ShardedBackend":
+        _check_state(state, "sharded")
+        backend = cls(config)
+        backend._index = ShardedMutableIndex.from_state(
+            state["index"], estimator_seed=config.seed + 2
+        )
+        backend._attach_serving_stack()
+        return backend
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> ShardedMutableIndex:
+        """The backing sharded index (advanced / diagnostic access)."""
+        return self._index
+
+    @property
+    def size(self) -> int:
+        return self._index.size
+
+    @property
+    def total_pairs(self) -> int:
+        return self._index.total_pairs
+
+
+__all__ = [
+    "EstimatorBackend",
+    "StaticBackend",
+    "StreamingBackend",
+    "ShardedBackend",
+    "register_backend",
+    "resolve_backend",
+    "available_backends",
+]

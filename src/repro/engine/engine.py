@@ -1,0 +1,433 @@
+"""The engine front door: one lifecycle over every deployment shape.
+
+:class:`JoinEstimationEngine` is the seam callers program against.  A
+declarative :class:`~repro.engine.config.EngineConfig` picks the backend
+(static batch index, single-node streaming, or a sharded cluster — or
+any kind registered later); the lifecycle is always the same::
+
+    engine = JoinEstimationEngine(config).open()
+    engine.ingest(collection_or_events)
+    result = engine.estimate(EstimateRequest(threshold=0.8))
+    engine.snapshot("cluster.pkl")
+    engine.close()
+
+Estimates come back as :class:`EstimateResult` envelopes that carry the
+raw :class:`~repro.core.base.Estimate` payload plus :class:`Provenance`
+(backend kind, strata sizes, shard layout, staleness, wall time, the
+resolved per-call seed) — enough to audit *which* deployment served a
+number and reproduce it bit-for-bit.
+
+Determinism contract: for equal configs and ingest, an engine estimate
+equals the estimate of the hand-built underlying stack (index seeded
+``config.seed + 1``, maintenance generator ``config.seed + 2``) called
+with the same per-request seed.  The facade adds provenance, never
+arithmetic — gated at ≤ 5 % overhead in ``benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+from repro.engine.backends import EstimatorBackend, resolve_backend
+from repro.engine.config import EngineConfig
+from repro.errors import IndexNotBuiltError, ValidationError
+from repro.shard.rebalance import RebalancePlan
+from repro.streaming.events import ChangeLog, Checkpoint, Delete, Insert
+from repro.vectors import VectorCollection
+
+_EVENT_TYPES = (Insert, Delete, Checkpoint)
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One estimation call, as data (dict/JSON round-trippable).
+
+    Parameters
+    ----------
+    threshold:
+        Similarity threshold ``τ`` in ``(0, 1]``.
+    mode:
+        Backend-specific serving path (``"auto"`` everywhere; also
+        ``"exact"``, ``"reservoir"`` for streaming, ``"merged"`` for
+        sharded).  Backends reject modes they do not serve.
+    seed:
+        Per-call rng seed; ``None`` falls back to the engine config's
+        root seed.
+    estimator:
+        Estimator flavor for multi-estimator backends (the static
+        backend serves ``lsh-ss`` / ``lsh-s`` / ``ju`` / ``lc`` / ``rs``
+        …); single-estimator backends reject non-``None`` values.
+    """
+
+    threshold: float
+    mode: str = "auto"
+    seed: Optional[int] = None
+    estimator: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "mode": self.mode,
+            "seed": self.seed,
+            "estimator": self.estimator,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EstimateRequest":
+        unknown = sorted(set(payload) - {"threshold", "mode", "seed", "estimator"})
+        if unknown:
+            raise ValidationError(f"unknown request field(s) {unknown}")
+        if "threshold" not in payload:
+            raise ValidationError("an estimate request needs a 'threshold'")
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an estimate came from and what the backend looked like.
+
+    ``backend``/``backend_details`` identify the deployment shape (the
+    details dict carries backend-specific facts: strata sizes always;
+    shard count/sizes/partitioner and pending writes for clusters;
+    reservoir staleness for mutable backends).  ``seed`` is the resolved
+    per-call seed — replaying the same request against the same state
+    with this seed reproduces the value bit-for-bit.
+    """
+
+    backend: str
+    seed: int
+    mode: str
+    wall_time_seconds: float
+    backend_details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "seed": self.seed,
+            "mode": self.mode,
+            "wall_time_seconds": self.wall_time_seconds,
+            "backend_details": dict(self.backend_details),
+        }
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """An :class:`~repro.core.base.Estimate` plus its :class:`Provenance`."""
+
+    value: float
+    estimator: str
+    threshold: float
+    details: Dict[str, Any]
+    provenance: Provenance
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def relative_error(self, true_size: float) -> float:
+        """Signed relative error against a known true join size."""
+        from repro.core.base import Estimate
+
+        return Estimate(self.value, self.estimator, self.threshold).relative_error(true_size)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "estimator": self.estimator,
+            "threshold": self.threshold,
+            "details": dict(self.details),
+            "provenance": self.provenance.to_dict(),
+        }
+
+
+class JoinEstimationEngine:
+    """One front-door API over static, streaming, and sharded backends.
+
+    Construct from an :class:`EngineConfig` (or a plain dict / JSON file
+    path), then drive the lifecycle: :meth:`open`, :meth:`ingest`,
+    :meth:`estimate`, :meth:`snapshot` / :meth:`restore`,
+    :meth:`rebalance` (sharded only), :meth:`close`.  Usable as a
+    context manager (``with JoinEstimationEngine(cfg) as engine: …``).
+    """
+
+    def __init__(self, config: Union[EngineConfig, Mapping[str, Any], str, Path]):
+        self.config = EngineConfig.coerce(config)
+        self._backend: Optional[EstimatorBackend] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._backend is not None and not self._closed
+
+    @property
+    def backend(self) -> EstimatorBackend:
+        """The live backend (advanced callers; raises unless open)."""
+        if not self.is_open:
+            raise IndexNotBuiltError(
+                "engine is not open; call open() (or restore()) first"
+            )
+        return self._backend
+
+    def open(self) -> "JoinEstimationEngine":
+        """Build the configured backend; returns ``self`` for chaining."""
+        if self._backend is not None and not self._closed:
+            raise ValidationError("engine is already open")
+        backend = resolve_backend(self.config.backend)(self.config)
+        backend.open()
+        self._backend = backend
+        self._closed = False
+        return self
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+        if self._backend is not None and not self._closed:
+            self._backend.close()
+        self._closed = True
+
+    def __enter__(self) -> "JoinEstimationEngine":
+        if not self.is_open:
+            self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        source: Union[VectorCollection, ChangeLog, Iterable[object], Insert, Delete, Checkpoint],
+    ) -> int:
+        """Feed vectors or change events into the backend.
+
+        Accepts a :class:`VectorCollection` (bulk load), a single event,
+        a :class:`ChangeLog`, or any iterable of events.  Returns the
+        number of mutations applied (checkpoints count zero).
+        """
+        backend = self.backend
+        if isinstance(source, VectorCollection):
+            return backend.ingest_collection(source)
+        if isinstance(source, _EVENT_TYPES):
+            return backend.apply_event(source)
+        if isinstance(source, (ChangeLog, Iterable)):
+            applied = 0
+            for event in source:
+                applied += backend.apply_event(event)
+            return applied
+        raise ValidationError(
+            f"cannot ingest {type(source).__name__}; expected a "
+            "VectorCollection, a change event, or an iterable of events"
+        )
+
+    def flush(self) -> None:
+        """Make buffered writes visible (no-op for unbuffered backends)."""
+        self.backend.flush()
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        request: Union[EstimateRequest, Mapping[str, Any], float, None] = None,
+        *,
+        threshold: Optional[float] = None,
+        mode: Optional[str] = None,
+        seed: Optional[int] = None,
+        estimator: Optional[str] = None,
+    ) -> EstimateResult:
+        """Serve one estimate (request object, dict, or bare threshold).
+
+        ``engine.estimate(0.8)``, ``engine.estimate(threshold=0.8,
+        mode="exact")`` and ``engine.estimate(EstimateRequest(0.8,
+        mode="exact"))`` are equivalent spellings; keyword arguments
+        given *alongside* a request object/dict override its fields.
+        """
+        if isinstance(request, (int, float)) and not isinstance(request, bool):
+            if threshold is not None:
+                raise ValidationError("threshold given both positionally and by keyword")
+            threshold = float(request)
+            request = None
+        elif isinstance(request, Mapping):
+            payload = dict(request)
+            if "threshold" not in payload and threshold is not None:
+                payload["threshold"] = threshold
+                threshold = None
+            request = EstimateRequest.from_dict(payload)
+        elif request is not None and not isinstance(request, EstimateRequest):
+            raise ValidationError(
+                f"cannot estimate from {type(request).__name__}; expected an "
+                "EstimateRequest, a mapping, or a threshold"
+            )
+        if request is None:
+            if threshold is None:
+                raise ValidationError("an estimate needs a threshold")
+            request = EstimateRequest(threshold)
+        # explicit keywords win over the request envelope's fields
+        overrides: Dict[str, Any] = {}
+        if threshold is not None and request.threshold != threshold:
+            overrides["threshold"] = threshold
+        if mode is not None:
+            overrides["mode"] = mode
+        if seed is not None:
+            overrides["seed"] = seed
+        if estimator is not None:
+            overrides["estimator"] = estimator
+        if overrides:
+            request = dataclasses.replace(request, **overrides)
+        backend = self.backend
+        resolved_seed = self.config.seed if request.seed is None else int(request.seed)
+        started = time.perf_counter()
+        estimate = backend.estimate(
+            request.threshold,
+            mode=request.mode,
+            random_state=resolved_seed,
+            estimator=request.estimator,
+        )
+        wall_time = time.perf_counter() - started
+        return EstimateResult(
+            value=estimate.value,
+            estimator=estimate.estimator,
+            threshold=estimate.threshold,
+            details=estimate.details,
+            provenance=Provenance(
+                backend=backend.kind,
+                seed=resolved_seed,
+                mode=request.mode,
+                wall_time_seconds=wall_time,
+                backend_details=backend.describe(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, path: Union[str, Path]) -> None:
+        """Write config + backend state as one restorable bundle."""
+        state = {
+            "format": 1,
+            "kind": "engine-snapshot",
+            "config": self.config.to_dict(),
+            "backend": self.backend.to_state(),
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(
+        cls,
+        path: Union[str, Path],
+        *,
+        config: Union[EngineConfig, Mapping[str, Any], str, Path, None] = None,
+    ) -> "JoinEstimationEngine":
+        """Revive an engine from :meth:`snapshot` output.
+
+        Raw backend snapshots (a bare :meth:`ShardedMutableIndex.snapshot`
+        or :meth:`MutableLSHIndex.snapshot` file, as written by older CLI
+        versions) are also accepted: the config is inferred from the
+        index state, with backend-specific options left at defaults.
+        Passing ``config`` overrides the embedded/inferred one — its
+        backend kind must match the snapshot's.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise ValidationError(f"engine snapshot not found: {path}")
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+        if not isinstance(state, Mapping):
+            raise ValidationError(f"{path} is not an engine or index snapshot")
+        if state.get("kind") == "engine-snapshot":
+            if state.get("format") != 1:
+                raise ValidationError(
+                    f"unsupported engine snapshot format {state.get('format')!r}"
+                )
+            snapshot_config = EngineConfig.from_dict(state["config"])
+            backend_state = state["backend"]
+        elif state.get("kind") == "sharded":  # raw ShardedMutableIndex snapshot
+            snapshot_config = cls._inferred_config("sharded", state)
+            backend_state = {"format": 1, "kind": "sharded-backend", "index": state}
+        elif state.get("format") == 1 and "tables" in state:  # raw MutableLSHIndex
+            snapshot_config = cls._inferred_config("streaming", state)
+            backend_state = {"format": 1, "kind": "streaming-backend", "index": state}
+        else:
+            raise ValidationError(f"{path} is not an engine or index snapshot")
+        if config is not None:
+            config = EngineConfig.coerce(config)
+            if config.backend != snapshot_config.backend:
+                raise ValidationError(
+                    f"config backend {config.backend!r} does not match the "
+                    f"snapshot's {snapshot_config.backend!r}"
+                )
+        else:
+            config = snapshot_config
+        engine = cls(config)
+        engine._backend = resolve_backend(config.backend).from_state(config, backend_state)
+        engine._closed = False
+        return engine
+
+    @staticmethod
+    def _inferred_config(backend: str, state: Mapping[str, Any]) -> EngineConfig:
+        """Best-effort config for a raw index snapshot (family stays default)."""
+        return EngineConfig(
+            backend=backend,
+            num_hashes=int(state["num_hashes"]),
+            num_tables=int(state["num_tables"]),
+            dimension=int(state["dimension"]),
+        )
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        *,
+        num_shards: Optional[int] = None,
+        partitioner: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> RebalancePlan:
+        """Resize / re-partition a sharded backend (others raise).
+
+        Returns the executed (or, with ``dry_run``, the proposed)
+        :class:`~repro.shard.rebalance.RebalancePlan`.  An applied
+        rebalance updates :attr:`config` to the adopted shard count and
+        partitioner, so snapshots taken afterwards describe reality.
+        """
+        plan = self.backend.rebalance(
+            num_shards=num_shards, partitioner=partitioner, dry_run=dry_run
+        )
+        self.config = self.backend.config  # adopt any rebalance-driven update
+        return plan
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of live vectors in the backend."""
+        return self.backend.size
+
+    @property
+    def total_pairs(self) -> int:
+        """Candidate pairs ``M = C(n, 2)``."""
+        return self.backend.total_pairs
+
+    def describe(self) -> Dict[str, Any]:
+        """Config plus the backend's live provenance fields."""
+        description = {"config": self.config.to_dict()}
+        if self.is_open:
+            description["backend"] = self.backend.describe()
+        return description
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        status = "open" if self.is_open else "closed"
+        return f"JoinEstimationEngine(backend={self.config.backend!r}, {status})"
+
+
+__all__ = ["EstimateRequest", "EstimateResult", "Provenance", "JoinEstimationEngine"]

@@ -39,3 +39,13 @@ class InsufficientSampleError(EstimationError):
 
 class IndexNotBuiltError(ReproError):
     """Raised when an LSH-backed estimator is used before its index exists."""
+
+
+class UnsupportedOperationError(ReproError):
+    """Raised when an engine backend is asked for an operation it cannot do.
+
+    For example, deleting from the immutable ``static`` backend, or
+    rebalancing anything but the ``sharded`` backend.  Distinct from
+    :class:`ValidationError` so callers can branch on "wrong deployment
+    shape" separately from "malformed argument".
+    """

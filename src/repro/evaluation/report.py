@@ -2,8 +2,8 @@
 
 The benchmarks print the same rows and series the paper's tables and
 figures report; these helpers keep the formatting in one place so every
-benchmark output looks alike and ``EXPERIMENTS.md`` can embed the tables
-verbatim.
+benchmark output looks alike and the markdown reports persisted under
+``benchmarks/results/`` can embed the tables verbatim.
 """
 
 from __future__ import annotations

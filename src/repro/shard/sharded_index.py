@@ -776,6 +776,10 @@ class ShardedMutableIndex:
         snapshot) is a fresh estimator drawn, seeded from
         ``estimator_seed``.
         """
+        if state.get("kind") == "engine-snapshot":
+            # engine bundles wrap the index state; unwrap so low-level
+            # tooling keeps working on front-door snapshots
+            state = state.get("backend", {}).get("index", {})
         if state.get("format") != 1 or state.get("kind") != "sharded":
             raise ValidationError("not a sharded-index snapshot")
         sharded = cls.__new__(cls)

@@ -478,16 +478,19 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         random_state: RandomState = None,
         mode: str = "auto",
     ) -> Estimate:
-        """Estimate the join size at ``threshold`` (see module docs for modes)."""
-        self.validate_threshold(threshold)
+        """Estimate the join size at ``threshold`` (see module docs for modes).
+
+        Validation of ``mode`` happens here; the threshold check and the
+        ``[0, M]`` clamp live in the base class.
+        """
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
-        estimate = self._estimate_with_mode(float(threshold), mode, random_state=random_state)
-        estimate.value = float(min(max(estimate.value, 0.0), float(self.total_pairs)))
-        return estimate
+        return super().estimate(threshold, random_state=random_state, mode=mode)
 
-    def _estimate(self, threshold: float, *, random_state: RandomState = None) -> Estimate:
-        return self._estimate_with_mode(threshold, "auto", random_state=random_state)
+    def _estimate(
+        self, threshold: float, *, random_state: RandomState = None, mode: str = "auto"
+    ) -> Estimate:
+        return self._estimate_with_mode(threshold, mode, random_state=random_state)
 
     def _pair_source(self, reservoir: _PairReservoir, mode: str, is_h: bool, stratum_size: int):
         """Pair source for the kernels: reservoir draws or fresh index sampling.

@@ -10,7 +10,9 @@ class TestParser:
         args = build_parser().parse_args(["estimate", "--threshold", "0.8"])
         assert args.command == "estimate"
         assert args.profile == "dblp"
-        assert args.estimators == ["lsh-ss", "rs"]
+        # None = "not explicitly chosen"; the command fills in lsh-ss rs
+        # (and can therefore reject an explicit list on single-estimator backends)
+        assert args.estimators is None
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
@@ -274,3 +276,173 @@ class TestRebalanceCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "not found" in captured.err
+
+    def test_rebalance_raw_cluster_snapshot(self, capsys, tmp_path):
+        """Pre-engine snapshots (bare ShardedMutableIndex files) still work."""
+        import numpy as np
+
+        from repro.shard import ShardedMutableIndex
+
+        rng = np.random.default_rng(0)
+        index = ShardedMutableIndex(
+            8, num_shards=2, num_hashes=6, random_state=5, partitioner="rendezvous"
+        )
+        index.insert_many((rng.random((40, 8)) < 0.4).astype(float))
+        snapshot = tmp_path / "raw.pkl"
+        index.snapshot(snapshot)
+        output = tmp_path / "raw3.pkl"
+        exit_code = main(
+            ["rebalance", "--snapshot", str(snapshot), "--shards", "3",
+             "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "written to" in captured.out
+        revived = ShardedMutableIndex.restore(output)
+        assert revived.num_shards == 3
+
+
+class TestEngineConfigCLI:
+    """The one --config path every serving command shares."""
+
+    _write_log = staticmethod(TestStreamCommand._write_log)
+
+    @staticmethod
+    def _config_file(tmp_path, payload):
+        import json
+
+        path = tmp_path / "engine.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_estimate_with_sharded_config(self, capsys, tmp_path):
+        config = self._config_file(tmp_path, {
+            "backend": "sharded", "num_hashes": 6, "seed": 1,
+            "options": {"num_shards": 3, "partitioner": "rendezvous"},
+        })
+        exit_code = main(
+            ["estimate", "--config", str(config), "--threshold", "0.8",
+             "--num-vectors", "200"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend=sharded" in captured.out
+        assert "LSH-SS(sharded)" in captured.out
+        assert "exact join" in captured.out
+
+    def test_estimate_honours_config_default_estimator(self, capsys, tmp_path):
+        """options['estimator'] wins when --estimators is not given."""
+        config = self._config_file(tmp_path, {
+            "backend": "static", "num_hashes": 6, "options": {"estimator": "ju"},
+        })
+        exit_code = main(
+            ["estimate", "--config", str(config), "--threshold", "0.8",
+             "--num-vectors", "200", "--no-exact"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "J_U" in captured.out
+        assert "LSH-SS" not in captured.out
+
+    def test_estimate_rejects_explicit_estimators_on_non_static(self, capsys, tmp_path):
+        """Asking for estimator flavors a backend cannot serve is an error."""
+        config = self._config_file(tmp_path, {
+            "backend": "sharded", "num_hashes": 6, "options": {"num_shards": 2},
+        })
+        exit_code = main(
+            ["estimate", "--config", str(config), "--threshold", "0.8",
+             "--num-vectors", "200", "--estimators", "lsh-s", "lc"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "single estimator" in captured.err
+
+    def test_estimate_with_streaming_config(self, capsys, tmp_path):
+        config = self._config_file(tmp_path, {"backend": "streaming", "num_hashes": 6})
+        exit_code = main(
+            ["estimate", "--config", str(config), "--threshold", "0.8",
+             "--num-vectors", "200", "--no-exact"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "LSH-SS(stream)" in captured.out
+
+    def test_estimate_matches_flag_construction(self, capsys, tmp_path):
+        """A static config file and the legacy flags serve identical numbers."""
+        config = self._config_file(tmp_path, {
+            "backend": "static", "num_hashes": 8, "seed": 1,
+        })
+        common = ["--threshold", "0.8", "--num-vectors", "200", "--seed", "1",
+                  "--estimators", "lsh-ss", "--no-exact"]
+        assert main(["estimate", "--config", str(config), *common]) == 0
+        via_config = capsys.readouterr().out
+        assert main(["estimate", "--num-hashes", "8", *common]) == 0
+        via_flags = capsys.readouterr().out
+        config_rows = [l for l in via_config.splitlines() if l.startswith("LSH-SS")]
+        flag_rows = [l for l in via_flags.splitlines() if l.startswith("LSH-SS")]
+        assert config_rows == flag_rows != []
+
+    def test_invalid_config_file_is_cli_error(self, capsys, tmp_path):
+        bad = tmp_path / "engine.json"
+        bad.write_text("{not json")
+        exit_code = main(["estimate", "--config", str(bad), "--threshold", "0.8"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not valid JSON" in captured.err
+
+    def test_stream_rejects_static_config(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=10)
+        config = self._config_file(tmp_path, {"backend": "static"})
+        exit_code = main(["stream", "--events", str(log), "--config", str(config)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "immutable" in captured.err
+
+    def test_stream_with_sharded_config(self, capsys, tmp_path):
+        """The stream command serves any mutable backend the config names."""
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        config = self._config_file(tmp_path, {
+            "backend": "sharded", "num_hashes": 6, "options": {"num_shards": 2},
+        })
+        exit_code = main(
+            ["stream", "--events", str(log), "--config", str(config),
+             "--batch-size", "10", "--mode", "exact"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend=sharded" in captured.out
+
+    def test_shard_rejects_non_sharded_config(self, capsys, tmp_path):
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=10)
+        config = self._config_file(tmp_path, {"backend": "streaming", "num_hashes": 6})
+        exit_code = main(["shard", "--events", str(log), "--config", str(config)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "sharded" in captured.err
+
+    def test_shard_config_snapshot_rebalance_round_trip(self, capsys, tmp_path):
+        """config → shard → snapshot → rebalance: the full engine loop."""
+        log = self._write_log(tmp_path / "events.jsonl", num_vectors=30)
+        config = self._config_file(tmp_path, {
+            "backend": "sharded", "num_hashes": 6, "seed": 3,
+            "options": {"num_shards": 2, "partitioner": "rendezvous"},
+        })
+        snapshot = tmp_path / "engine.pkl"
+        assert main(
+            ["shard", "--events", str(log), "--config", str(config),
+             "--batch-size", "10", "--snapshot", str(snapshot)]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["rebalance", "--snapshot", str(snapshot), "--shards", "3",
+             "--threshold", "0.7", "--output", str(tmp_path / "out.pkl")]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "written to" in captured.out
+        from repro.engine import JoinEstimationEngine
+
+        engine = JoinEstimationEngine.restore(tmp_path / "out.pkl")
+        assert engine.config.num_hashes == 6  # config travelled with the snapshot
+        assert engine.backend.index.num_shards == 3
+        engine.close()

@@ -68,3 +68,28 @@ class TestEstimatorBase:
 
     def test_threshold_one_is_allowed(self):
         assert ConstantEstimator(1.0).estimate(1.0).value == 1.0
+
+    def test_estimate_forwards_options_to_subclass(self):
+        """The base clamp is the single one; subclass options pass through it."""
+
+        class ModalEstimator(ConstantEstimator):
+            def _estimate(self, threshold, *, random_state=None, mode="auto"):
+                value = self._raw_value if mode == "auto" else -1.0
+                return Estimate(value=value, estimator=self.name, threshold=threshold)
+
+        estimator = ModalEstimator(raw_value=7.0)
+        assert estimator.estimate(0.5, mode="auto").value == 7.0
+        # the forwarded-mode result is clamped by the base class too
+        assert estimator.estimate(0.5, mode="other").value == 0.0
+
+    def test_streaming_estimators_share_the_base_clamp(self):
+        """The clamp lives only in the base class (no duplicated copies)."""
+        import inspect
+
+        from repro.shard.merge import ShardedStreamingEstimator
+        from repro.streaming.estimator import StreamingEstimator
+
+        for cls in (StreamingEstimator, ShardedStreamingEstimator):
+            source = inspect.getsource(cls.estimate)
+            assert "total_pairs" not in source, f"{cls.__name__} re-clamps locally"
+            assert "super().estimate" in source

@@ -9,6 +9,7 @@ from repro.errors import (
     IndexNotBuiltError,
     InsufficientSampleError,
     ReproError,
+    UnsupportedOperationError,
     ValidationError,
 )
 
@@ -22,6 +23,7 @@ class TestHierarchy:
             EstimationError,
             InsufficientSampleError,
             IndexNotBuiltError,
+            UnsupportedOperationError,
         ):
             assert issubclass(error_type, ReproError)
 

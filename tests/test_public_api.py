@@ -1,5 +1,7 @@
 """Tests for the top-level public API surface."""
 
+import types
+
 import repro
 
 
@@ -11,6 +13,43 @@ class TestPublicAPI:
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), f"missing export: {name}"
+
+    def test_all_matches_exports_both_directions(self):
+        """``__all__`` is exactly the public surface: nothing missing, nothing extra.
+
+        Every public module-level attribute (submodules excluded) must be
+        listed, and everything listed must resolve — so an import added to
+        ``repro/__init__.py`` without an ``__all__`` entry (or vice versa)
+        fails here instead of silently drifting.
+        """
+        exported = {
+            name
+            for name in dir(repro)
+            if not name.startswith("_")
+            and not isinstance(getattr(repro, name), types.ModuleType)
+        }
+        listed = set(repro.__all__) - {"__version__"}
+        assert exported - listed == set(), f"public but not in __all__: {sorted(exported - listed)}"
+        assert listed - exported == set(), f"in __all__ but not public: {sorted(listed - exported)}"
+
+    def test_engine_surface_exported(self):
+        for name in (
+            "JoinEstimationEngine",
+            "EngineConfig",
+            "EstimateRequest",
+            "EstimateResult",
+            "Provenance",
+            "EstimatorBackend",
+            "register_backend",
+            "available_backends",
+        ):
+            assert name in repro.__all__
+        # and the engine subpackage agrees with the top level
+        from repro import engine
+
+        for name in engine.__all__:
+            if hasattr(repro, name):
+                assert getattr(repro, name) is getattr(engine, name)
 
     def test_key_estimators_exported(self):
         for name in (
