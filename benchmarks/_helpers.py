@@ -2,14 +2,64 @@
 
 from __future__ import annotations
 
+import os
+import signal
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+import pytest
 
 from repro.evaluation.report import format_table, records_to_markdown, series_table
 from repro.evaluation.runner import SweepRecord
 from repro.streaming import ChangeLog, Delete, Insert
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer from the environment, falling back on garbage/absence."""
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def env_float(name: str, default: float) -> float:
+    """A float from the environment, falling back on garbage/absence."""
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.hookimpl(hookwrapper=True)
+def hard_timeout_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` as a hard SIGALRM deadline.
+
+    Bound as ``pytest_runtest_call`` by BOTH tests/conftest.py and
+    benchmarks/conftest.py, so the multi-process cluster tests *and* the
+    bench_cluster gates fail fast on a deadlocked worker instead of
+    hanging the job (the container has no pytest-timeout plugin; this
+    covers the same need on POSIX).
+    """
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 120
+
+    def _on_alarm(signum, frame):  # pragma: no cover - only fires on deadlock
+        raise TimeoutError(
+            f"hard {seconds}s test timeout exceeded — a worker process or "
+            "the coordinator is likely deadlocked"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def emit(
@@ -76,4 +126,12 @@ def churn_log(collection, operations: int, *, seed: int) -> ChangeLog:
     return log
 
 
-__all__ = ["emit", "accuracy_series", "format_table", "churn_log"]
+__all__ = [
+    "emit",
+    "accuracy_series",
+    "format_table",
+    "churn_log",
+    "env_int",
+    "env_float",
+    "hard_timeout_runtest_call",
+]

@@ -17,11 +17,12 @@ output survives the pytest run.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from benchmarks._helpers import env_int as _env_int
+from benchmarks._helpers import hard_timeout_runtest_call as pytest_runtest_call  # noqa: F401
 from repro.datasets import make_dblp_like, make_nyt_like, make_pubmed_like
 from repro.join.histogram import SimilarityHistogram
 from repro.lsh import LSHIndex
@@ -29,13 +30,6 @@ from repro.lsh import LSHIndex
 RESULTS_DIR = Path(__file__).parent / "results"
 
 THRESHOLD_GRID = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
-
-
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except ValueError:
-        return default
 
 
 @pytest.fixture(scope="session")

@@ -121,6 +121,7 @@ from repro.engine import (
     available_backends,
     register_backend,
 )
+from repro.cluster import ClusterCoordinator, ProcessBackend
 
 __version__ = "1.0.0"
 
@@ -210,4 +211,7 @@ __all__ = [
     "EstimatorBackend",
     "register_backend",
     "available_backends",
+    # multi-process cluster
+    "ClusterCoordinator",
+    "ProcessBackend",
 ]

@@ -41,6 +41,12 @@ Sub-commands
     Resize and/or re-partition a checkpointed engine (or raw cluster
     snapshot) with minimal key movement; without ``--output`` it is a
     dry run that only prints the migration plan.
+``worker``
+    Run one standalone shard worker of the multi-process cluster
+    backend: listen on ``--listen host:port`` and serve coordinator
+    sessions (a ``process``-backend engine with ``options.addresses``
+    naming this endpoint).  ``repro shard --backend process`` runs the
+    coordinator side with locally spawned workers.
 """
 
 from __future__ import annotations
@@ -173,8 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bucket-key → shard assignment; rendezvous enables "
                             "minimal-movement resizes via 'repro rebalance' "
                             "(default: modulo)")
+    shard.add_argument("--backend", choices=("sharded", "process"), default="sharded",
+                       help="in-process shards (default) or one worker process "
+                            "per shard (the repro.cluster coordinator)")
     shard.add_argument("--workers", type=int, default=None,
-                       help="ingest worker threads (default: one per shard)")
+                       help="ingest worker threads (default: one per shard for "
+                            "the sharded backend; 0 for process — worker "
+                            "processes already ingest in parallel)")
     shard.add_argument("--snapshot", default=None,
                        help="write the final engine state to this file")
     shard.add_argument("--num-hashes", type=int, default=20,
@@ -203,6 +214,20 @@ def build_parser() -> argparse.ArgumentParser:
                            help="optionally print a merged exact-mode estimate at τ "
                                 "before and after the rebalance")
     rebalance.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run one standalone shard worker for the 'process' cluster backend",
+    )
+    worker.add_argument("--listen", required=True,
+                        help="host:port to listen on for coordinator sessions")
+    worker.add_argument("--token", default=None,
+                        help="shared secret a coordinator must present (recommended "
+                             "on anything but localhost; the protocol is pickle — "
+                             "trusted links only)")
+    worker.add_argument("--once", action="store_true",
+                        help="exit after the first coordinator session instead of "
+                             "waiting for the next one")
     return parser
 
 
@@ -423,7 +448,7 @@ def _command_shard(args: argparse.Namespace) -> str:
     log = _load_event_log(args)
     dimension = _infer_dimension(log, args.dimension)
     config = _engine_config(
-        args, "sharded",
+        args, args.backend,
         dimension=dimension,
         options={
             "num_shards": args.shards,
@@ -434,9 +459,10 @@ def _command_shard(args: argparse.Namespace) -> str:
             "shard_estimators": args.mode != "exact",
         },
     )
-    if config.backend != "sharded":
+    if config.backend not in ("sharded", "process"):
         raise ValidationError(
-            f"'repro shard' needs a 'sharded' engine config, got {config.backend!r}"
+            f"'repro shard' needs a 'sharded' or 'process' engine config, "
+            f"got {config.backend!r}"
         )
 
     rows = []
@@ -482,9 +508,10 @@ def _command_shard(args: argparse.Namespace) -> str:
 
 def _command_rebalance(args: argparse.Namespace) -> str:
     engine = JoinEstimationEngine.restore(args.snapshot, config=args.config)
-    if engine.config.backend != "sharded":
+    if engine.config.backend not in ("sharded", "process"):
         raise ValidationError(
-            f"'repro rebalance' needs a sharded engine, got {engine.config.backend!r}"
+            f"'repro rebalance' needs a sharded or process engine, "
+            f"got {engine.config.backend!r}"
         )
     cluster = engine.backend.index
     current_shards = cluster.num_shards
@@ -533,6 +560,17 @@ def _command_rebalance(args: argparse.Namespace) -> str:
     )
 
 
+def _command_worker(args: argparse.Namespace) -> str:
+    from repro.cluster import parse_address, serve
+
+    def on_ready(bound) -> None:
+        # parseable readiness line: coordinators / scripts wait for it
+        print(f"worker listening on {bound[0]}:{bound[1]}", flush=True)
+
+    serve(parse_address(args.listen), token=args.token, once=args.once, on_ready=on_ready)
+    return "worker: session ended"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -548,6 +586,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_shard(args)
         elif args.command == "rebalance":
             output = _command_rebalance(args)
+        elif args.command == "worker":
+            output = _command_worker(args)
         else:
             output = _command_probabilities(args)
     except ReproError as error:

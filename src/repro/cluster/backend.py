@@ -1,0 +1,181 @@
+"""The ``process`` engine backend: a worker-process cluster behind the router.
+
+:class:`ProcessBackend` subclasses the in-process
+:class:`~repro.engine.backends.ShardedBackend` and swaps its
+:class:`~repro.shard.sharded_index.ShardedMutableIndex` for a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` — everything else
+(buffered router, merged estimator, rebalance driver, event semantics)
+is inherited, so the two deployment shapes cannot drift apart.  It
+registers as ``register_backend("process")``: any
+:class:`~repro.engine.JoinEstimationEngine` caller (and every CLI
+command) reaches multi-process serving with a one-line config change::
+
+    {"backend": "process", "dimension": 128,
+     "options": {"shards": 4}}
+
+Exact-mode estimates are bit-identical to the ``sharded`` backend — and
+therefore to an unsharded ``streaming`` estimator — for the same seed
+(gated in ``benchmarks/bench_cluster.py`` along with the ≥ in-process
+ingest-throughput gate).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.cluster.coordinator import (
+    DEFAULT_REQUEST_TIMEOUT,
+    ClusterCoordinator,
+)
+from repro.engine.backends import ShardedBackend, _check_state, register_backend
+from repro.engine.config import EngineConfig
+from repro.errors import ValidationError
+from repro.shard import ShardedStreamingEstimator, ShardRouter
+
+
+@register_backend("process")
+class ProcessBackend(ShardedBackend):
+    """Bucket-key-partitioned cluster of shard **worker processes**.
+
+    Options
+    -------
+    ``shards`` (alias ``num_shards``, default 4), ``partitioner``,
+    ``shard_estimators``, ``estimator_kwargs``, ``batch_size``,
+    ``sample_size_h`` / ``sample_size_l`` / ``answer_threshold`` /
+    ``dampening``
+        As in the ``sharded`` backend.
+    ``workers``
+        Router flush threads; defaults to 0 here because the
+        coordinator's pipelined commit already runs every worker process
+        in parallel.
+    ``addresses``
+        ``["host:port", …]`` of pre-started ``repro worker`` endpoints,
+        one per shard; omitted = spawn local worker processes.
+    ``token``
+        Shared handshake secret for external workers (``repro worker
+        --token``); auto-generated for spawned ones.
+    ``request_timeout``
+        Seconds before a silent worker fails the request instead of
+        hanging the coordinator (default 120).
+    ``start_method``
+        ``multiprocessing`` start method for spawned workers.
+    """
+
+    OPTIONS = ShardedBackend.OPTIONS | frozenset(
+        {"shards", "addresses", "token", "request_timeout", "start_method"}
+    )
+    CAPABILITIES = ShardedBackend.CAPABILITIES | frozenset({"multi-process"})
+
+    def __init__(self, config: EngineConfig):
+        super().__init__(config)
+        # normalise the 'shards' alias into 'num_shards' once, up front:
+        # a later rebalance syncs 'num_shards' into the config, and a
+        # stale alias surviving next to it would poison the re-open of a
+        # rebalance-synced (or snapshot-embedded) config
+        options = dict(config.options)
+        if "shards" in options:
+            if "num_shards" in options and int(options["shards"]) != int(
+                options["num_shards"]
+            ):
+                raise ValidationError(
+                    "options 'shards' and 'num_shards' disagree "
+                    f"({options['shards']} vs {options['num_shards']}); give one"
+                )
+            options["num_shards"] = int(options.pop("shards"))
+            self.config = config.replace(options=options)
+
+    def _cluster_kwargs(self) -> Dict[str, Any]:
+        options = self.config.options
+        return {
+            "addresses": options.get("addresses"),
+            "token": options.get("token"),
+            "request_timeout": options.get("request_timeout", DEFAULT_REQUEST_TIMEOUT),
+            "start_method": options.get("start_method"),
+        }
+
+    def open(self) -> None:
+        if self.config.dimension is None:
+            raise ValidationError(
+                "backend 'process' needs config.dimension (hash families "
+                "bind to the vector space eagerly)"
+            )
+        options = self.config.options
+        self._index = ClusterCoordinator(
+            self.config.dimension,
+            num_shards=int(options.get("num_shards", 4)),
+            num_hashes=self.config.num_hashes,
+            num_tables=self.config.num_tables,
+            family=self.config.family,
+            random_state=self.config.seed + 1,
+            partitioner=options.get("partitioner", "modulo"),
+            shard_estimators=options.get("shard_estimators", True),
+            estimator_kwargs=options.get("estimator_kwargs"),
+            **self._cluster_kwargs(),
+        )
+        try:
+            self._attach_serving_stack()
+        except BaseException:
+            self._index.close()
+            raise
+
+    def _attach_serving_stack(self) -> None:
+        options = self.config.options
+        self._router = ShardRouter(
+            self._index,
+            batch_size=options.get("batch_size", 256),
+            # the pipelined commit parallelises across worker processes;
+            # router threads would only add contention (None — the sharded
+            # backend's "one per shard" — maps to 0 here)
+            max_workers=options.get("workers") or 0,
+        )
+        merge_kwargs = {key: options[key] for key in self._MERGE_KEYS if key in options}
+        self._estimator = ShardedStreamingEstimator(
+            self._index, router=self._router, **merge_kwargs
+        )
+
+    def close(self) -> None:
+        """Flush-and-stop the router, then shut the workers down.
+
+        Worker shutdown runs even when the router's close raises (e.g.
+        :class:`~repro.errors.StrandedWritesError` after a partial
+        commit): a failing flush must never leak worker processes.
+        """
+        try:
+            self._router.close()
+        finally:
+            self._index.close()
+
+    def describe(self) -> Dict[str, Any]:
+        description = super().describe()
+        description["workers"] = self._index.worker_infos
+        return description
+
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        self._router.flush()
+        return {"format": 1, "kind": "process-backend", "index": self._index.to_state()}
+
+    @classmethod
+    def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "ProcessBackend":
+        _check_state(state, "process")
+        backend = cls(config)
+        backend._index = ClusterCoordinator.from_state(
+            state["index"],
+            estimator_seed=config.seed + 2,
+            **backend._cluster_kwargs(),
+        )
+        try:
+            backend._attach_serving_stack()
+        except BaseException:
+            backend._index.close()
+            raise
+        return backend
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> ClusterCoordinator:
+        """The backing cluster coordinator (advanced / diagnostic access)."""
+        return self._index
+
+
+__all__ = ["ProcessBackend"]

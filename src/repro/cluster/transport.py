@@ -1,0 +1,225 @@
+"""Length-prefixed pickle framing for the coordinator ↔ worker protocol.
+
+One frame is an 8-byte big-endian length followed by that many bytes of
+pickle.  A message is the tuple ``(op, payload)`` where ``op`` is a short
+string and ``payload`` a dict whose values are exactly the objects the
+library already serialises elsewhere — prepared-batch slices (ids / CSR
+rows / signatures), :meth:`MutableLSHIndex.to_state` snapshots, and
+:func:`split_index_state` migration payloads — so the wire format is the
+snapshot substrate, not a second serialisation scheme.
+
+Replies reuse the same frames: ``("ok", result)`` or ``("error",
+payload)`` where the payload carries the worker-side exception (the
+exception object itself when it is one of the library's own
+:class:`~repro.errors.ReproError` types, so e.g. an
+:class:`~repro.errors.InsufficientSampleError` raised inside a worker
+surfaces as the same type at the coordinator).
+
+Trust model: pickle deserialisation executes arbitrary callables, so the
+transport is for *trusted* links only — workers the coordinator spawned
+itself, or workers an operator started on machines they control, guarded
+by the shared-token handshake.  It is not a public network protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ClusterError, ReproError, ValidationError, WorkerCrashError
+
+#: wire protocol version; bumped on incompatible frame/op changes
+PROTOCOL_VERSION = 1
+
+#: refuse frames beyond this size (corrupt length prefix / runaway state)
+MAX_FRAME_BYTES = 4 << 30
+
+_HEADER = struct.Struct(">Q")
+
+
+class ConnectionClosed(WorkerCrashError):
+    """The peer closed (or reset) the connection mid-protocol."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` into a ``(host, port)`` pair."""
+    if not isinstance(address, str) or ":" not in address:
+        raise ValidationError(
+            f"worker address must look like 'host:port', got {address!r}"
+        )
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValidationError(
+            f"worker address must end in an integer port, got {address!r}"
+        ) from None
+    if not host or not 0 < port < 65536:
+        raise ValidationError(f"invalid worker address {address!r}")
+    return host, port
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"connection closed after {count - remaining} of {count} bytes"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, op: str, payload: Any) -> None:
+    """Frame and send one ``(op, payload)`` message."""
+    body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"refusing to send a {len(body)}-byte frame (> {MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_message(sock: socket.socket) -> Tuple[str, Any]:
+    """Receive one framed ``(op, payload)`` message (blocking)."""
+    header = _recv_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(
+            f"peer announced a {length}-byte frame (> {MAX_FRAME_BYTES}); "
+            "corrupt stream or protocol mismatch"
+        )
+    body = _recv_exactly(sock, int(length))
+    message = pickle.loads(body)
+    if not (isinstance(message, tuple) and len(message) == 2 and isinstance(message[0], str)):
+        raise ClusterError(f"malformed frame: expected (op, payload), got {type(message)}")
+    return message
+
+
+def describe_error(error: BaseException) -> Dict[str, Any]:
+    """A reply payload describing a worker-side exception.
+
+    Library exceptions travel as objects (they are plain, picklable
+    types of our own), anything else as text — unpickling arbitrary
+    third-party exception classes at the coordinator is not worth the
+    coupling.
+    """
+    import traceback
+
+    payload: Dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+    }
+    if isinstance(error, ReproError):
+        try:
+            pickle.dumps(error)
+        except Exception:
+            pass
+        else:
+            payload["exception"] = error
+    return payload
+
+
+def raise_remote_error(payload: Dict[str, Any], *, context: str) -> None:
+    """Re-raise a :func:`describe_error` payload at the coordinator."""
+    exception = payload.get("exception")
+    if isinstance(exception, ReproError):
+        raise exception
+    raise ClusterError(
+        f"{context}: worker failed with {payload.get('type')}: "
+        f"{payload.get('message')}\n--- worker traceback ---\n"
+        f"{payload.get('traceback', '').rstrip()}"
+    )
+
+
+class Connection:
+    """One framed, request/response socket to a peer.
+
+    The coordinator keeps at most one outstanding request per
+    connection; :meth:`send` / :meth:`recv` are exposed separately so a
+    batch commit can be *pipelined* — send to every worker first, then
+    collect every reply — which is where the multi-process parallelism
+    of the ingest path comes from.
+    """
+
+    def __init__(self, sock: socket.socket, *, timeout: Optional[float] = None):
+        self._sock = sock
+        sock.settimeout(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        """Adjust the per-operation timeout (e.g. short shutdown grace)."""
+        if self._sock is not None:
+            self._sock.settimeout(timeout)
+
+    def send(self, op: str, payload: Any = None) -> None:
+        if self._sock is None:
+            raise ConnectionClosed("connection is closed")
+        try:
+            send_message(self._sock, op, payload)
+        except (OSError, ValueError) as error:
+            raise ConnectionClosed(f"send failed: {error}") from error
+
+    def recv(self) -> Tuple[str, Any]:
+        if self._sock is None:
+            raise ConnectionClosed("connection is closed")
+        try:
+            return recv_message(self._sock)
+        except socket.timeout as error:
+            raise WorkerCrashError(
+                "timed out waiting for a worker reply (worker hung or overloaded)"
+            ) from error
+        except ConnectionClosed:
+            raise
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError) as error:
+            raise ConnectionClosed(f"receive failed: {error}") from error
+
+    def recv_reply(self, *, context: str) -> Any:
+        """Receive one reply frame; unwrap ``ok`` or re-raise ``error``."""
+        status, payload = self.recv()
+        if status == "ok":
+            return payload
+        if status == "error":
+            raise_remote_error(payload, context=context)
+        raise ClusterError(f"{context}: unexpected reply status {status!r}")
+
+    def request(self, op: str, payload: Any = None, *, context: str = "") -> Any:
+        """One synchronous round trip: send ``op``, await the reply."""
+        self.send(op, payload)
+        return self.recv_reply(context=context or f"op {op!r}")
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "Connection",
+    "ConnectionClosed",
+    "parse_address",
+    "send_message",
+    "recv_message",
+    "describe_error",
+    "raise_remote_error",
+]

@@ -15,7 +15,12 @@ a class with :func:`register_backend` and need no caller changes:
   insert/delete churn;
 * ``sharded`` — :class:`~repro.shard.sharded_index.ShardedMutableIndex`
   behind a buffered :class:`~repro.shard.router.ShardRouter`, with
-  online rebalancing.
+  online rebalancing;
+* ``process`` — the multi-process cluster
+  (:class:`~repro.cluster.backend.ProcessBackend`, defined in
+  :mod:`repro.cluster` and registered through this module's registry):
+  shard worker processes behind a
+  :class:`~repro.cluster.coordinator.ClusterCoordinator`.
 
 Delegation is thin on purpose: for equal seeds, the estimate a backend
 serves is **bit-identical** to constructing the underlying layers by
@@ -699,3 +704,9 @@ __all__ = [
     "resolve_backend",
     "available_backends",
 ]
+
+# registers the "process" backend (module-level side effect).  A plain
+# `import` (not `from … import`) keeps the circular import benign: when
+# repro.cluster is mid-import it is already in sys.modules, and its
+# register_backend decorator runs when its own module body completes.
+import repro.cluster.backend  # noqa: E402,F401  (registration side effect)

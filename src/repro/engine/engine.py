@@ -186,18 +186,36 @@ class JoinEstimationEngine:
         return self
 
     def close(self) -> None:
-        """Release backend resources; idempotent."""
+        """Release backend resources; idempotent.
+
+        The engine counts as closed even when the backend's ``close``
+        raises (the error still propagates to the caller *once*): a
+        second :meth:`close` is a no-op instead of re-raising, so
+        cleanup paths that close defensively cannot mask the original
+        failure with a repeat of it.
+        """
         if self._backend is not None and not self._closed:
-            self._backend.close()
-        self._closed = True
+            try:
+                self._backend.close()
+            finally:
+                self._closed = True
 
     def __enter__(self) -> "JoinEstimationEngine":
         if not self.is_open:
             self.open()
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except Exception as close_error:
+            if exc_type is None:
+                raise
+            # an exception is already leaving the with-body: keep it
+            # primary and chain the close-time failure into its context
+            # instead of letting the close error mask the root cause
+            close_error.__context__ = exc.__context__
+            exc.__context__ = close_error
 
     # ------------------------------------------------------------------
     # ingest

@@ -49,3 +49,37 @@ class UnsupportedOperationError(ReproError):
     :class:`ValidationError` so callers can branch on "wrong deployment
     shape" separately from "malformed argument".
     """
+
+
+class StrandedWritesError(ReproError):
+    """Raised when closing a writer would silently discard buffered writes.
+
+    :meth:`repro.shard.router.ShardRouter.close` raises this after a
+    partial batch-commit failure: the buffered inserts can be neither
+    retried (some shard slices may already be applied) nor dropped
+    without telling the caller.  The unapplied rows are attached as
+    :attr:`pending_rows` (1×d CSR rows in arrival order) so callers can
+    re-route them to a fresh cluster.
+    """
+
+    def __init__(self, message: str, pending_rows=()):
+        super().__init__(message)
+        #: buffered insert rows (1×d CSR) that were never applied
+        self.pending_rows = list(pending_rows)
+
+
+class ClusterError(ReproError):
+    """Raised for failures of the multi-process cluster (repro.cluster).
+
+    Covers coordinator/worker protocol violations, configuration
+    problems, and a cluster left unusable by an earlier failure.
+    """
+
+
+class WorkerCrashError(ClusterError):
+    """Raised when a shard worker process died or stopped responding.
+
+    The coordinator raises this instead of hanging when a request cannot
+    be completed because the worker's transport broke (process crash,
+    connection reset) or timed out.
+    """

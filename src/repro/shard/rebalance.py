@@ -49,7 +49,6 @@ from repro.shard.partition import (
     resolve_partitioner,
 )
 from repro.shard.sharded_index import ShardedMutableIndex
-from repro.streaming.mutable_index import MutableLSHIndex
 
 
 # ----------------------------------------------------------------------
@@ -381,11 +380,9 @@ def apply_plan(sharded: ShardedMutableIndex, plan: RebalancePlan) -> RebalancePl
             moved_vectors += arriving
 
     for shard_id in sorted(affected):
-        shard = sharded.shards[shard_id]
-        new_index = MutableLSHIndex.from_state(states[shard_id])
-        restored = new_index.estimators
-        shard.index = new_index
-        shard.estimator = restored[0] if restored else None
+        # in process this revives the state locally; the multi-process
+        # coordinator overrides the hook to ship it to the shard's worker
+        sharded._adopt_shard_state(shard_id, states[shard_id])
 
     for move in plan.moves:
         refs[move.key][1] = move.target

@@ -30,7 +30,7 @@ from typing import List, Optional, Tuple
 
 from scipy import sparse
 
-from repro.errors import ValidationError
+from repro.errors import StrandedWritesError, ValidationError
 from repro.rng import RandomState, ensure_rng
 from repro.shard.sharded_index import ShardedMutableIndex
 from repro.streaming.events import ChangeLog, Checkpoint, Delete, Insert
@@ -77,6 +77,24 @@ class ShardRouter:
     def events_routed(self) -> int:
         """Total insert/delete events applied (flushed inserts only)."""
         return self._events_routed
+
+    @property
+    def commit_failed(self) -> bool:
+        """True after a batch commit raised partway (see :meth:`flush`)."""
+        return self._commit_failed
+
+    def drain_pending(self) -> List[sparse.csr_matrix]:
+        """Take the buffered (never applied) insert rows out of the router.
+
+        Returns the 1×d CSR rows in arrival order and clears the buffer —
+        after a partial commit failure this is how callers recover the
+        inserts that can no longer be flushed here (re-route them to a
+        fresh cluster); a subsequent :meth:`close` then has nothing to
+        strand and succeeds.
+        """
+        rows = self._pending_rows
+        self._pending_rows = []
+        return rows
 
     def insert(self, vector: VectorInput) -> None:
         """Buffer one insert; flushes automatically at ``batch_size``."""
@@ -163,11 +181,16 @@ class ShardRouter:
                         )
                 else:  # pragma: no cover - defensive
                     raise ValidationError(f"unknown event type: {type(event).__name__}")
-        except BaseException:
+        except BaseException as error:
             try:
                 self.flush()
-            except Exception:  # keep the original error; rows stay buffered
-                pass
+            except Exception as flush_error:
+                # the original error propagates, but the recovery-flush
+                # failure must stay diagnosable: splice it into the
+                # context chain (original → flush failure → whatever the
+                # original was already chained to) instead of discarding
+                flush_error.__context__ = error.__context__
+                error.__context__ = flush_error
             raise
         self.flush()
         return results
@@ -179,20 +202,46 @@ class ShardRouter:
         Idempotent: after the pool is shut down, later ``flush`` /
         ``close`` calls fall back to synchronous ingestion, so no
         buffered insert can be stranded by closing twice or by writing
-        after close.  After a partial commit failure the final flush is
-        skipped (retrying would double-ingest; see :meth:`flush`).
+        after close.
+
+        After a partial commit failure the final flush cannot run
+        (retrying would double-ingest; see :meth:`flush`).  Rows still
+        buffered at that point are **not** silently dropped: the pool is
+        shut down, the rows are drained, and
+        :class:`~repro.errors.StrandedWritesError` is raised carrying
+        them, so callers always learn which inserts were never applied
+        (call :meth:`drain_pending` first to recover them and close
+        quietly).
         """
         if not self._commit_failed:
             self.flush()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._commit_failed and self._pending_rows:
+            stranded = self.drain_pending()
+            raise StrandedWritesError(
+                f"closing after a partial batch-commit failure strands "
+                f"{len(stranded)} buffered insert(s) that were never applied; "
+                "they are attached as .pending_rows — replay them onto a "
+                "fresh cluster",
+                pending_rows=stranded,
+            )
 
     def __enter__(self) -> "ShardRouter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        try:
+            self.close()
+        except Exception as close_error:
+            if exc_type is None:
+                raise
+            # an exception is already leaving the with-body (most likely
+            # the commit failure itself): keep it primary and chain the
+            # close-time error instead of masking the root cause
+            close_error.__context__ = exc.__context__
+            exc.__context__ = close_error
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

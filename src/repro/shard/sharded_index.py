@@ -581,20 +581,43 @@ class ShardedMutableIndex:
     # ------------------------------------------------------------------
     # merged sampling + similarity (the query-side merge layer)
     # ------------------------------------------------------------------
+    def _bucket_members_on_shard(
+        self, shard_id: int, keys: Sequence[bytes]
+    ) -> List[List[int]]:
+        """Member lists for ``keys`` (all owned by ``shard_id``), in order.
+
+        The one bucket-content accessor of the merge layer — the
+        multi-process coordinator overrides it with a single batched
+        worker round trip per shard.
+        """
+        table = self.shards[shard_id].index.primary_table
+        return [table.bucket_members_by_key(key) for key in keys]
+
     def _frozen_layout(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Global SampleH layout stitched from per-shard buckets.
 
         Buckets appear in the facade's global key order and carry the
         owning shard's member lists verbatim, which reproduces the layout
         of one unsharded table over the same event sequence — the basis
-        of the bit-identical merged estimates.
+        of the bit-identical merged estimates.  Members are fetched
+        through :meth:`_bucket_members_on_shard` in one batch per shard,
+        then reassembled in the global order.
         """
         if self._frozen is None:
-            tables = [shard.index.primary_table for shard in self.shards]
+            wanted: Dict[int, List[bytes]] = {}
+            order: List[Tuple[int, int]] = []  # (shard_id, position in its batch)
+            for key, (count, shard_id) in self._bucket_refs.items():
+                if count < 2:
+                    continue
+                batch = wanted.setdefault(shard_id, [])
+                order.append((shard_id, len(batch)))
+                batch.append(key)
+            members = {
+                shard_id: self._bucket_members_on_shard(shard_id, keys)
+                for shard_id, keys in wanted.items()
+            }
             self._frozen = freeze_bucket_layout(
-                tables[shard_id].bucket_members_by_key(key)
-                for key, (count, shard_id) in self._bucket_refs.items()
-                if count >= 2
+                members[shard_id][position] for shard_id, position in order
             )
         return self._frozen
 
@@ -655,6 +678,17 @@ class ShardedMutableIndex:
             "almost every pair into a single bucket (k is far too small)"
         )
 
+    def _gather_rows_on_shard(
+        self, shard_id: int, ids: np.ndarray, *, normalized: bool
+    ) -> sparse.csr_matrix:
+        """Stack the rows of ``ids`` (all living on ``shard_id``) in order.
+
+        The one row accessor of the query-side merge layer — the
+        multi-process coordinator overrides it with a worker round trip.
+        """
+        store = self.shards[shard_id].index._rows
+        return store.gather_normalized(ids) if normalized else store.gather_raw(ids)
+
     def _gather(self, ids: np.ndarray, *, normalized: bool) -> sparse.csr_matrix:
         """Stack rows living on many shards back into the order of ``ids``."""
         shard_ids = np.fromiter(
@@ -665,8 +699,7 @@ class ShardedMutableIndex:
             raise ValidationError(f"vector id {missing} is not in the index")
 
         def gather_on(shard_id: int, subset: np.ndarray) -> sparse.csr_matrix:
-            store = self.shards[shard_id].index._rows
-            return store.gather_normalized(subset) if normalized else store.gather_raw(subset)
+            return self._gather_rows_on_shard(shard_id, subset, normalized=normalized)
 
         present = np.unique(shard_ids)
         if present.size == 1:
@@ -728,6 +761,22 @@ class ShardedMutableIndex:
     # ------------------------------------------------------------------
     # snapshot / restore (checkpointing + rebalancing substrate)
     # ------------------------------------------------------------------
+    def _adopt_shard_state(self, shard_id: int, state: Mapping[str, object]) -> None:
+        """Replace one shard's index (and estimator) with a rebuilt state.
+
+        The rebalance layer calls this after splitting/splicing shard
+        snapshots: here the state is revived in process; the
+        multi-process coordinator overrides it to ship the state to the
+        shard's worker instead.  Estimators embedded in the state are
+        adopted; a shard whose state carries none ends up with none (the
+        caller decides whether to redraw).
+        """
+        shard = self.shards[shard_id]
+        new_index = MutableLSHIndex.from_state(state)
+        restored = new_index.estimators
+        shard.index = new_index
+        shard.estimator = restored[0] if restored else None
+
     def to_state(self) -> Dict[str, object]:
         """A picklable checkpoint of the facade and every shard.
 
@@ -776,28 +825,9 @@ class ShardedMutableIndex:
         snapshot) is a fresh estimator drawn, seeded from
         ``estimator_seed``.
         """
-        if state.get("kind") == "engine-snapshot":
-            # engine bundles wrap the index state; unwrap so low-level
-            # tooling keeps working on front-door snapshots
-            state = state.get("backend", {}).get("index", {})
-        if state.get("format") != 1 or state.get("kind") != "sharded":
-            raise ValidationError("not a sharded-index snapshot")
+        state = cls._unwrap_sharded_state(state)
         sharded = cls.__new__(cls)
-        sharded.dimension = int(state["dimension"])
-        sharded.num_hashes = int(state["num_hashes"])
-        sharded.num_tables = int(state["num_tables"])
-        if "partitioner" in state:
-            sharded.partitioner = partitioner_from_state(state["partitioner"])
-        else:  # pre-rebalance snapshots carried only the shard count
-            sharded.partitioner = resolve_partitioner("modulo", int(state["num_shards"]))
-        sharded._shard_estimators = bool(state["shard_estimators"])
-        sharded._estimator_kwargs = dict(state["estimator_kwargs"])
-        budget = sharded._estimator_kwargs.get("staleness_budget")
-        if isinstance(budget, (int, float)) and budget > 1.0:
-            # legacy snapshots could carry budgets > 1, which behaved
-            # exactly like 1.0 (staleness is a capped fraction); clamp so
-            # they keep restoring under the tightened validation
-            sharded._estimator_kwargs["staleness_budget"] = 1.0
+        sharded._restore_facade_fields(state)
         estimator_rngs = spawn(ensure_rng(estimator_seed), int(state["num_shards"]))
         sharded.shards = []
         for shard_id, shard_state in enumerate(state["shards"]):
@@ -815,24 +845,57 @@ class ShardedMutableIndex:
                 )
             sharded.shards.append(IndexShard(shard_id, index, estimator))
         sharded.families = sharded.shards[0].index.families if sharded.shards else []
-        sharded._live_ids = [int(i) for i in state["live_ids"]]
-        sharded._live_position = {
-            vector_id: position for position, vector_id in enumerate(sharded._live_ids)
-        }
-        sharded._shard_of_id = {
-            int(vector_id): int(shard_id)
-            for vector_id, shard_id in zip(state["live_ids"], state["shard_of"])
-        }
-        sharded._bucket_refs = {
-            bytes(key): [int(count), int(shard_id)]
-            for key, count, shard_id in state["bucket_refs"]
-        }
-        sharded._next_id = int(state["next_id"])
-        sharded._observers = []
-        sharded._frozen = None
+        sharded._restore_facade_bookkeeping(state)
         sharded._refresh_owner_alignment()
         restore_estimator_states(sharded, state.get("estimators", ()))
         return sharded
+
+    @staticmethod
+    def _unwrap_sharded_state(state: Mapping[str, object]) -> Mapping[str, object]:
+        """Validate (and engine-unwrap) a sharded-index snapshot state."""
+        if state.get("kind") == "engine-snapshot":
+            # engine bundles wrap the index state; unwrap so low-level
+            # tooling keeps working on front-door snapshots
+            state = state.get("backend", {}).get("index", {})
+        if state.get("format") != 1 or state.get("kind") != "sharded":
+            raise ValidationError("not a sharded-index snapshot")
+        return state
+
+    def _restore_facade_fields(self, state: Mapping[str, object]) -> None:
+        """Restore the scalar facade fields (shared with the cluster restore)."""
+        self.dimension = int(state["dimension"])
+        self.num_hashes = int(state["num_hashes"])
+        self.num_tables = int(state["num_tables"])
+        if "partitioner" in state:
+            self.partitioner = partitioner_from_state(state["partitioner"])
+        else:  # pre-rebalance snapshots carried only the shard count
+            self.partitioner = resolve_partitioner("modulo", int(state["num_shards"]))
+        self._shard_estimators = bool(state["shard_estimators"])
+        self._estimator_kwargs = dict(state["estimator_kwargs"])
+        budget = self._estimator_kwargs.get("staleness_budget")
+        if isinstance(budget, (int, float)) and budget > 1.0:
+            # legacy snapshots could carry budgets > 1, which behaved
+            # exactly like 1.0 (staleness is a capped fraction); clamp so
+            # they keep restoring under the tightened validation
+            self._estimator_kwargs["staleness_budget"] = 1.0
+
+    def _restore_facade_bookkeeping(self, state: Mapping[str, object]) -> None:
+        """Restore the merge-layer bookkeeping (shared with the cluster restore)."""
+        self._live_ids = [int(i) for i in state["live_ids"]]
+        self._live_position = {
+            vector_id: position for position, vector_id in enumerate(self._live_ids)
+        }
+        self._shard_of_id = {
+            int(vector_id): int(shard_id)
+            for vector_id, shard_id in zip(state["live_ids"], state["shard_of"])
+        }
+        self._bucket_refs = {
+            bytes(key): [int(count), int(shard_id)]
+            for key, count, shard_id in state["bucket_refs"]
+        }
+        self._next_id = int(state["next_id"])
+        self._observers = []
+        self._frozen = None
 
     def snapshot(self, path: Union[str, Path]) -> None:
         """Serialise the whole cluster state to one file."""

@@ -25,6 +25,12 @@ from repro.lsh import LSHIndex, LSHTable, SignRandomProjectionFamily
 from repro.vectors import VectorCollection
 
 
+# @pytest.mark.timeout(seconds) → hard SIGALRM deadline, so the
+# multi-process cluster tests fail fast on a deadlocked worker instead
+# of hanging the job; one implementation shared with benchmarks/conftest
+from benchmarks._helpers import hard_timeout_runtest_call as pytest_runtest_call  # noqa: E402,F401
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic generator for individual tests."""

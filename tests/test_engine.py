@@ -210,6 +210,44 @@ class TestLifecycle:
             assert engine.is_open
         assert not engine.is_open
 
+    @staticmethod
+    def _engine_with_failing_close():
+        engine = JoinEstimationEngine(EngineConfig(num_hashes=8)).open()
+
+        def explode():
+            raise RuntimeError("backend close failed")
+
+        engine.backend.close = explode
+        return engine
+
+    def test_close_counts_even_when_backend_close_raises(self):
+        engine = self._engine_with_failing_close()
+        with pytest.raises(RuntimeError, match="backend close failed"):
+            engine.close()
+        # the error surfaced once; the engine is closed, a second close
+        # must not re-raise (double-close would mask the original cause)
+        assert not engine.is_open
+        engine.close()
+
+    def test_exit_during_exception_does_not_mask_original(self):
+        engine = self._engine_with_failing_close()
+        with pytest.raises(ValueError, match="body error") as excinfo:
+            with engine:
+                raise ValueError("body error")
+        # the with-body error stays primary; the backend close failure is
+        # chained as context instead of replacing it
+        context = excinfo.value.__context__
+        assert isinstance(context, RuntimeError)
+        assert "backend close failed" in str(context)
+        assert not engine.is_open
+
+    def test_exit_without_exception_still_raises_close_error(self):
+        engine = self._engine_with_failing_close()
+        with pytest.raises(RuntimeError, match="backend close failed"):
+            with engine:
+                pass
+        assert not engine.is_open
+
     def test_constructor_accepts_dict_and_path(self, tmp_path):
         config = EngineConfig(seed=9)
         path = tmp_path / "c.json"

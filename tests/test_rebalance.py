@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ValidationError
+from repro.errors import StrandedWritesError, ValidationError
 from repro.shard import (
     KeyMove,
     KeyPartitioner,
@@ -570,7 +570,12 @@ class TestCommitFailureSafety:
         # ids and ingest the rows twice, so the router refuses
         with pytest.raises(ValidationError):
             router.flush()
-        router.close()  # skips the unsafe final flush, still shuts down
+        # close skips the unsafe final flush but must not strand the
+        # buffered rows silently: it raises, carrying the unapplied rows
+        with pytest.raises(StrandedWritesError) as excinfo:
+            router.close()
+        assert len(excinfo.value.pending_rows) == 3
+        router.close()  # rows were drained into the error: now idempotent
         index.check_invariants()
         assert index.size == 0
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ValidationError
+from repro.errors import StrandedWritesError, ValidationError
 from repro.shard import (
     KeyPartitioner,
     MergedStrata,
@@ -221,6 +221,128 @@ class TestShardRouter:
             ShardRouter(index, batch_size=0)
         with pytest.raises(ValidationError):
             ShardRouter(index, max_workers=-1)
+
+
+class TestRouterFailurePaths:
+    """Regression tests for the shutdown / failure hardening of the router."""
+
+    @staticmethod
+    def _router_with_failed_commit(buffered=3, batch_size=100):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        router = ShardRouter(index, batch_size=batch_size)
+        for position in range(buffered):
+            row = [0.0, 0.0, 0.0, 0.0]
+            row[position % 4] = 1.0
+            router.insert(row)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        for shard in index.shards:
+            shard.index.insert_many_prepared = explode
+        with pytest.raises(RuntimeError):
+            router.flush()
+        return index, router
+
+    def test_close_raises_instead_of_stranding_buffered_rows(self):
+        _index, router = self._router_with_failed_commit(buffered=3)
+        assert router.commit_failed and router.pending == 3
+        with pytest.raises(StrandedWritesError) as excinfo:
+            router.close()
+        stranded = excinfo.value.pending_rows
+        assert len(stranded) == 3
+        # the stranded rows are the actual unapplied inserts, replayable
+        # onto a fresh cluster
+        assert all(row.shape == (1, 4) for row in stranded)
+        # executor already shut down, buffer drained: now idempotent
+        router.close()
+        router.close()
+
+    def test_drain_pending_then_close_quietly(self):
+        _index, router = self._router_with_failed_commit(buffered=2)
+        rows = router.drain_pending()
+        assert len(rows) == 2 and router.pending == 0
+        router.close()  # nothing stranded any more
+        fresh = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        with ShardRouter(fresh) as replacement:
+            for row in rows:
+                replacement.insert(row)
+        assert fresh.size == 2
+
+    def test_context_manager_chains_stranded_error_under_original(self):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        with pytest.raises(RuntimeError) as excinfo:
+            with ShardRouter(index, batch_size=100) as router:
+                router.insert([1.0, 0.0, 0.0, 0.0])
+                for shard in index.shards:
+                    shard.index.insert_many_prepared = explode
+                router.flush()
+        # the with-body error stays primary; the close-time stranding is
+        # chained context, not a mask
+        assert isinstance(excinfo.value.__context__, StrandedWritesError)
+
+    def test_replay_midbatch_failure_chains_flush_error(self, small_collection):
+        index = ShardedMutableIndex(
+            small_collection.dimension, num_shards=2, num_hashes=4, random_state=0
+        )
+        router = ShardRouter(index, batch_size=50)
+        events = [
+            Insert(small_collection.row_dict(0)),
+            Insert(small_collection.row_dict(1)),
+            object(),  # unknown event type fails mid-stream, 2 rows buffered
+        ]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("flush also failed")
+
+        index.commit_batch = explode  # …and the recovery flush fails too
+        with pytest.raises(ValidationError) as excinfo:
+            router.replay(events)
+        # the recovery-flush failure is attached to the original error's
+        # context chain instead of being swallowed
+        context = excinfo.value.__context__
+        assert isinstance(context, RuntimeError)
+        assert "flush also failed" in str(context)
+        # the unapplied rows stay recoverable
+        assert router.pending == 2
+        assert len(router.drain_pending()) == 2
+        router.close()
+
+    def test_write_after_close_falls_back_to_synchronous(self):
+        index = ShardedMutableIndex(4, num_shards=2, num_hashes=4, random_state=0)
+        router = ShardRouter(index, batch_size=100, max_workers=4)
+        router.insert([1.0, 0.0, 0.0, 0.0])
+        router.close()
+        assert index.size == 1
+        # late writers after close: buffered, then flushed synchronously
+        router.insert([0.0, 1.0, 0.0, 0.0])
+        assert router.pending == 1
+        router.close()
+        assert index.size == 2 and router.pending == 0
+        index.check_invariants()
+
+    def test_workers_zero_synchronous_mode_matches_threaded(
+        self, small_collection, churn_log_factory
+    ):
+        log = churn_log_factory(small_collection, 150, seed=9)
+        results = []
+        for workers in (0, 4):
+            sharded = ShardedMutableIndex(
+                small_collection.dimension,
+                num_shards=4,
+                num_hashes=NUM_HASHES,
+                random_state=SEED,
+            )
+            with ShardRouter(sharded, batch_size=32, max_workers=workers) as router:
+                router.replay(log)
+            sharded.check_invariants()
+            estimator = ShardedStreamingEstimator(sharded)
+            results.append(estimator.estimate(0.7, random_state=4, mode="exact").value)
+        assert results[0] == results[1]
 
 
 class TestMergeLayer:
