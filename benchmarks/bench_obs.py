@@ -1,0 +1,240 @@
+"""E19 — observability: instrumentation overhead and cross-process traces.
+
+Two acceptance gates for :mod:`repro.obs`:
+
+1. **Overhead** — the estimate and ingest hot paths with observability
+   *enabled* (the default: counters incremented, histograms observed,
+   spans opened) must cost ≤ 3 % over the same paths with observability
+   *disabled* (``repro.obs.set_enabled(False)``: every instrument is an
+   early return).  Estimates are measured per call; ingest is measured
+   at the engine front door's documented granularity — one
+   ``engine.ingest(events)`` call per batch, which is how replay and
+   bulk callers drive it and therefore where the one-span-per-call
+   instrumentation actually lands.  Every call is timed twice
+   back-to-back — once per mode, order alternating — so both sides of
+   each paired ratio see the same few-millisecond window of CPU
+   frequency drift and throttling; the gate compares the median over
+   all pairs, which is robust to scheduler noise spikes.
+   The gate is adjustable for noisy shared runners via
+   ``REPRO_BENCH_OBS_GATE`` (a ratio; default 1.03).  Estimates must
+   also be **bit-identical** whether observability is on or off —
+   instrumentation must never touch the estimator's randomness or
+   arithmetic.
+2. **Stitched cross-process trace** — one estimate served by the
+   ``process`` backend, opened under a root span, must produce a single
+   trace: every collected span (coordinator side and the spans shipped
+   back from every worker process in the reply envelopes) carries the
+   root's ``trace_id``, and the span set covers the coordinator pid and
+   all worker pids.
+
+Corpus size scales via ``REPRO_BENCH_DBLP_N`` for the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._helpers import emit, env_float, format_table
+from repro.engine import EngineConfig, EstimateRequest, JoinEstimationEngine
+from repro.obs import get_tracer, set_enabled, trace
+from repro.streaming import Insert
+
+NUM_HASHES = 16
+SEED = 409
+THRESHOLD = 0.7
+CALLS_PER_ROUND = 20
+INGEST_CALLS_PER_ROUND = 10
+EVENTS_PER_INGEST = 50  # the front door's batch granularity (see docstring)
+ROUNDS = 16
+
+
+def _dense_rows(dimension: int, count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    rows = (rng.random((count, dimension)) < 0.3) * rng.random((count, dimension))
+    rows[rows.sum(axis=1) == 0.0, 0] = 1.0
+    return [row for row in rows]
+
+
+def test_obs_overhead_and_bit_identity(benchmark, dblp_collection, results_dir):
+    """Gate 1: enabled-vs-disabled overhead ≤ 3 %; estimates bit-identical."""
+    gate = env_float("REPRO_BENCH_OBS_GATE", 1.03)
+    dimension = dblp_collection.dimension
+    engine = JoinEstimationEngine(
+        EngineConfig(backend="streaming", num_hashes=NUM_HASHES, seed=SEED,
+                     dimension=dimension)
+    ).open()
+    engine.ingest(dblp_collection)
+    engine.estimate(THRESHOLD)  # warm every lazy path before timing
+    # ingest events recycle the corpus's own rows (as sparse mappings):
+    # realistic density and similarity structure, no giant dense buffer
+    matrix = dblp_collection.matrix.tocsr()
+
+    def _event(index: int) -> Insert:
+        row = matrix[index % dblp_collection.size]
+        return Insert({int(j): float(v) for j, v in zip(row.indices, row.data)})
+
+    event_counter = iter(range(10**9))
+
+    def _timed(work) -> float:
+        start = time.perf_counter()
+        work()
+        return time.perf_counter() - start
+
+    def run():
+        # PAIRED samples at the finest granularity the workload allows:
+        # each estimate call (and each ingest batch) is timed twice
+        # back-to-back — once per mode, order alternating — so the two
+        # sides of every ratio see the same few-millisecond window of
+        # CPU-frequency drift and cgroup throttling.  Coarser pairings
+        # (whole rounds per mode) swing by several percent on shared
+        # machines because the modes sample different throttle states.
+        pairs = {"estimate": [], "ingest": []}
+        try:
+            # phase 1 — estimates only: the index does not change here,
+            # so both sides of a pair run the identical seeded request
+            for round_index in range(ROUNDS):
+                for call in range(CALLS_PER_ROUND):
+                    request = EstimateRequest(THRESHOLD, seed=call, mode="auto")
+                    order = ((False, True) if (round_index + call) % 2 == 0
+                             else (True, False))
+                    timed = {}
+                    for enabled in order:
+                        set_enabled(enabled)
+                        timed[enabled] = _timed(lambda: engine.estimate(request))
+                    pairs["estimate"].append((timed[True], timed[False]))
+            # phase 2 — ingest batches: the two sides of a pair ingest
+            # different (but statistically identical) corpus rows, and
+            # the index grows by only one batch between them
+            for round_index in range(ROUNDS):
+                for batch_index in range(INGEST_CALLS_PER_ROUND):
+                    order = ((False, True) if (round_index + batch_index) % 2 == 0
+                             else (True, False))
+                    timed = {}
+                    for enabled in order:
+                        batch = [_event(next(event_counter))
+                                 for _ in range(EVENTS_PER_INGEST)]
+                        set_enabled(enabled)
+                        timed[enabled] = _timed(lambda: engine.ingest(batch))
+                    pairs["ingest"].append((timed[True], timed[False]))
+        finally:
+            set_enabled(True)
+        return pairs
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def _median(values):
+        ordered = sorted(values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+    # bit-identity: the same seeded estimate with obs on and off
+    request = EstimateRequest(THRESHOLD, seed=999, mode="exact")
+    value_on = engine.estimate(request).value
+    set_enabled(False)
+    try:
+        value_off = engine.estimate(request).value
+    finally:
+        set_enabled(True)
+    engine.close()
+
+    rows_out, ratios = [], {}
+    for path in ("estimate", "ingest"):
+        # median of per-pair ratios: robust to noise spikes, centered by
+        # the alternating order; the per-call columns are medians too
+        ratio = _median([on / off for on, off in pairs[path]])
+        on = _median([on for on, _ in pairs[path]])
+        off = _median([off for _, off in pairs[path]])
+        ratios[path] = ratio
+        rows_out.append([
+            path,
+            f"{off * 1e3:.3f}",
+            f"{on * 1e3:.3f}",
+            f"{ratio:.4f}",
+            f"{(on - off) * 1e6:+.1f}",
+        ])
+    body = format_table(
+        ["path", "disabled ms/call", "enabled ms/call", "ratio", "overhead µs/call"],
+        rows_out,
+        title=f"Observability overhead — n={dblp_collection.size}, k={NUM_HASHES}, "
+        f"τ={THRESHOLD}, median over {ROUNDS * CALLS_PER_ROUND} estimate / "
+        f"{ROUNDS * INGEST_CALLS_PER_ROUND} ingest back-to-back pairs "
+        f"(gate ≤ {gate:.2f}×); bit-identical on/off: "
+        f"{'yes' if value_on == value_off else 'NO'}",
+    )
+    emit(
+        "E19_obs_overhead", "E19 — observability overhead", body, results_dir,
+        benchmark=benchmark,
+        extra_info={**{f"ratio_{path}": r for path, r in ratios.items()},
+                    "bit_identical": value_on == value_off},
+    )
+    assert value_on == value_off, (
+        f"instrumentation changed the estimate: {value_on!r} (obs on) vs "
+        f"{value_off!r} (obs off)"
+    )
+    for path, ratio in ratios.items():
+        assert ratio <= gate, (
+            f"{path} path observability overhead {ratio:.4f}× exceeds the "
+            f"{gate:.2f}× gate"
+        )
+
+
+@pytest.mark.timeout(300)
+def test_cross_process_stitched_trace(benchmark, results_dir):
+    """Gate 2: one estimate → one trace spanning coordinator and workers."""
+    dimension = 16
+    num_shards = 2
+    engine = JoinEstimationEngine(
+        EngineConfig(backend="process", num_hashes=12, seed=SEED,
+                     dimension=dimension, options={"shards": num_shards})
+    ).open()
+    try:
+        for row in _dense_rows(dimension, 60, SEED + 2):
+            engine.ingest(Insert(row))
+        engine.flush()
+        worker_pids = {info["pid"] for info in engine.backend.index.worker_infos}
+        tracer = get_tracer()
+        tracer.drain()  # start from a clean buffer
+
+        def run():
+            with trace("bench.estimate") as root:
+                engine.estimate(EstimateRequest(THRESHOLD, seed=3, mode="exact"))
+            return root.trace_id, tracer.drain()
+
+        trace_id, spans = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        engine.close()
+
+    trace_ids = {span.trace_id for span in spans}
+    pids = {span.pid for span in spans}
+    names = {span.name for span in spans}
+    rows = [
+        ["spans collected", len(spans)],
+        ["distinct trace ids", len(trace_ids)],
+        ["coordinator pid seen", os.getpid() in pids],
+        ["worker pids seen", f"{len(worker_pids & pids)}/{len(worker_pids)}"],
+        ["worker-side span names", sum(1 for n in names if n.startswith("worker."))],
+    ]
+    body = format_table(
+        ["check", "value"], rows,
+        title=f"Cross-process trace stitching — {num_shards} worker processes, "
+        f"one exact estimate under one root span",
+    )
+    emit(
+        "E19_obs_stitched_trace", "E19 — cross-process trace stitching", body,
+        results_dir, benchmark=benchmark,
+        extra_info={"spans": len(spans), "distinct_trace_ids": len(trace_ids)},
+    )
+    assert trace_ids == {trace_id}, (
+        f"expected one stitched trace {trace_id}, got ids {trace_ids}"
+    )
+    assert os.getpid() in pids, "no coordinator-side span collected"
+    assert worker_pids <= pids, (
+        f"missing spans from worker pids {worker_pids - pids}"
+    )
+    assert any(name.startswith("worker.") for name in names)

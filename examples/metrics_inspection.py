@@ -1,0 +1,119 @@
+"""Observability walkthrough: metrics, spans, and the stats surface.
+
+A join-size estimation service in production needs to answer three
+operational questions without touching the estimator's math:
+
+1. *How fast are we?* — per-call latency histograms and counters,
+   collected by every engine into its own ``MetricsRegistry`` and
+   attached to each reply (``result.provenance.metrics``), so a single
+   response carries enough telemetry to debug it after the fact.
+2. *Where did the time go?* — ``trace(name)`` spans build a tree per
+   request; on a multi-process cluster the trace context rides the
+   coordinator→worker protocol and the workers' spans ride back, so one
+   estimate yields one stitched tree covering every process.
+3. *What is the cluster doing overall?* — ``engine.stats()`` (or
+   ``repro stats --config ...`` from the shell) returns the config, the
+   backend's operational rows, and a metrics snapshot; per-worker
+   snapshots merge associatively, so the fold is order-free.
+
+Everything is silent by default and costs ≤ 3 % on the hot paths (gated
+in ``benchmarks/bench_obs.py``); ``set_enabled(False)`` turns collection
+off process-wide without losing what was already recorded.
+
+Run with:  python examples/metrics_inspection.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EngineConfig,
+    EstimateRequest,
+    JoinEstimationEngine,
+    format_metric_name,
+    get_tracer,
+    histogram_quantile,
+    make_dblp_like,
+    set_enabled,
+    trace,
+)
+
+
+def main() -> None:
+    print("Building a streaming engine over a DBLP-like corpus...")
+    corpus = make_dblp_like(num_vectors=1500, random_state=7)
+    collection = corpus.collection
+    engine = JoinEstimationEngine(
+        EngineConfig(
+            backend="streaming",
+            num_hashes=16,
+            seed=41,
+            dimension=collection.dimension,
+        )
+    ).open()
+    engine.ingest(collection)
+
+    # ------------------------------------------------------------------
+    # 1. per-request telemetry: every estimate under a span, metrics in
+    #    the reply's provenance
+    # ------------------------------------------------------------------
+    get_tracer().drain()  # start from a clean span buffer
+    with trace("example.request", client="metrics_inspection"):
+        result = engine.estimate(EstimateRequest(0.8, seed=3, mode="auto"))
+    print(f"\nestimate at tau=0.8: {result.value:,.0f} pairs "
+          f"(mode={result.provenance.mode})")
+
+    metrics = result.provenance.metrics
+    print("\nmetrics shipped inside the reply (provenance.metrics):")
+    for entry in metrics["counters"]:
+        name = format_metric_name(entry["name"], entry["labels"])
+        print(f"  {name} = {entry['value']:.0f}")
+    for entry in metrics["histograms"]:
+        if not entry["count"]:
+            continue
+        name = format_metric_name(entry["name"], entry["labels"])
+        p99 = histogram_quantile(tuple(entry["buckets"]), entry["counts"], 0.99)
+        print(f"  {name}: count={entry['count']} "
+              f"mean={entry['sum'] / entry['count'] * 1e3:.2f}ms p99<={p99 * 1e3:.1f}ms")
+
+    # ------------------------------------------------------------------
+    # 2. the span tree for that one request
+    # ------------------------------------------------------------------
+    spans = get_tracer().drain()
+    print(f"\nspan tree ({len(spans)} spans, one trace "
+          f"{spans[-1].trace_id}):")
+    by_parent = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+
+    def render(parent_id, depth):
+        for span in by_parent.get(parent_id, ()):
+            print(f"  {'  ' * depth}{span.name}  "
+                  f"({span.duration * 1e3:.2f} ms, pid {span.pid})")
+            render(span.span_id, depth + 1)
+
+    render(None, 0)
+
+    # ------------------------------------------------------------------
+    # 3. the operational stats surface (repro stats --config ... is the
+    #    CLI spelling of exactly this call)
+    # ------------------------------------------------------------------
+    stats = engine.stats()
+    print(f"\nengine.stats(): backend={stats['config']['backend']}, "
+          f"{len(stats['metrics']['counters'])} counters, "
+          f"{len(stats['metrics']['histograms'])} histograms")
+
+    # ------------------------------------------------------------------
+    # 4. the kill switch: collection off, estimates unchanged
+    # ------------------------------------------------------------------
+    request = EstimateRequest(0.8, seed=3, mode="exact")
+    value_on = engine.estimate(request).value
+    set_enabled(False)
+    value_off = engine.estimate(request).value
+    set_enabled(True)
+    print(f"\nbit-identical with collection on/off: {value_on == value_off} "
+          f"({value_on:,.0f} pairs either way)")
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -122,6 +122,20 @@ from repro.engine import (
     register_backend,
 )
 from repro.cluster import ClusterCoordinator, ProcessBackend
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    Span,
+    Tracer,
+    enable_json_logging,
+    format_metric_name,
+    get_global_registry,
+    get_tracer,
+    histogram_quantile,
+    obs_enabled,
+    set_enabled,
+    trace,
+)
 
 __version__ = "1.0.0"
 
@@ -214,4 +228,17 @@ __all__ = [
     # multi-process cluster
     "ClusterCoordinator",
     "ProcessBackend",
+    # observability
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "Tracer",
+    "enable_json_logging",
+    "format_metric_name",
+    "get_global_registry",
+    "get_tracer",
+    "histogram_quantile",
+    "obs_enabled",
+    "set_enabled",
+    "trace",
 ]

@@ -47,6 +47,13 @@ Sub-commands
     sessions (a ``process``-backend engine with ``options.addresses``
     naming this endpoint).  ``repro shard --backend process`` runs the
     coordinator side with locally spawned workers.
+``stats``
+    Open an engine from ``--config`` (any backend), optionally drive
+    some work through it (``--events`` replay for mutable backends, a
+    synthetic profile ingest for ``static``, an estimate at
+    ``--threshold``), and print the :mod:`repro.obs` stats surface:
+    counters, latency histograms, and — for the ``process`` backend —
+    per-worker rows gathered in one batched round trip.
 """
 
 from __future__ import annotations
@@ -214,6 +221,34 @@ def build_parser() -> argparse.ArgumentParser:
                            help="optionally print a merged exact-mode estimate at τ "
                                 "before and after the rebalance")
     rebalance.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+
+    stats = subparsers.add_parser(
+        "stats", help="observability snapshot of an engine (metrics + workers)"
+    )
+    stats.add_argument("--config", required=True,
+                       help="JSON EngineConfig file describing the engine; any "
+                            "backend (static/streaming/sharded/process)")
+    stats.add_argument("--events", default=None,
+                       help="JSONL change log to replay before collecting stats "
+                            "(mutable backends only)")
+    stats.add_argument("--threshold", type=float, default=None,
+                       help="run one estimate at τ before collecting stats, so "
+                            "the estimate-path instruments have samples")
+    stats.add_argument("--dimension", type=int, default=None,
+                       help="vector dimensionality when the config omits it and "
+                            "there is no event log to infer it from")
+    stats.add_argument("--batch-size", type=int, default=100,
+                       help="replay batch size for --events (default: 100)")
+    stats.add_argument("--profile", choices=sorted(_PROFILES), default="dblp",
+                       help="synthetic corpus ingested for a 'static' engine "
+                            "(default: dblp)")
+    stats.add_argument("--num-vectors", type=int, default=500,
+                       help="synthetic corpus size for a 'static' engine "
+                            "(default: 500)")
+    stats.add_argument("--seed", type=int, default=7, help="random seed (default: 7)")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the full stats dict as JSON instead of the "
+                            "human-readable summary")
 
     worker = subparsers.add_parser(
         "worker",
@@ -490,6 +525,20 @@ def _command_shard(args: argparse.Namespace) -> str:
             engine.snapshot(args.snapshot)
         num_shards = engine.backend.index.num_shards
         partitioner_kind = engine.backend.index.partitioner.kind
+        worker_lines: List[str] = []
+        if config.backend == "process":
+            # one batched stats round trip: per-worker ingest seconds as
+            # reported by the reply envelope, plus the coordinator-side
+            # time spent blocked on worker replies
+            cluster_stats = engine.backend.index.stats()
+            worker_lines.append("worker timings (coordinator-observed):")
+            for row in cluster_stats["workers"]:
+                worker_lines.append(
+                    f"  shard {row['shard_id']}: pid={row['pid']} "
+                    f"size={row.get('size', '?')} "
+                    f"ingest={row['worker_ingest_seconds']:.4f}s "
+                    f"blocked={row['blocked_seconds']:.4f}s"
+                )
     summary = (
         f"Sharded streaming estimates — {args.events}: {inserts} inserts, "
         f"{deletes} deletes over {num_shards} shards "
@@ -497,13 +546,16 @@ def _command_shard(args: argparse.Namespace) -> str:
         f"k={config.num_hashes}, mode={args.mode}"
         + (f"; snapshot → {args.snapshot}" if args.snapshot else "")
     )
-    return format_table(
+    table = format_table(
         ["event", "trigger", "n", "per-shard n", "N_H", "N_L",
          f"estimate J(τ={args.threshold})"],
         rows,
         float_format="{:.1f}",
         title=summary,
     )
+    if worker_lines:
+        table += "\n" + "\n".join(worker_lines)
+    return table
 
 
 def _command_rebalance(args: argparse.Namespace) -> str:
@@ -560,6 +612,82 @@ def _command_rebalance(args: argparse.Namespace) -> str:
     )
 
 
+def _render_metrics(metrics: dict) -> List[str]:
+    """Human-readable lines for one ``MetricsSnapshot.to_dict()`` payload."""
+    from repro.obs import format_metric_name, histogram_quantile
+
+    def sort_key(entry):
+        return (entry["name"], sorted(entry.get("labels", {}).items()))
+
+    lines: List[str] = []
+    for entry in sorted(metrics.get("counters", []), key=sort_key):
+        name = format_metric_name(entry["name"], entry.get("labels", {}))
+        lines.append(f"  {name} = {entry['value']:g}")
+    for entry in sorted(metrics.get("gauges", []), key=sort_key):
+        name = format_metric_name(entry["name"], entry.get("labels", {}))
+        lines.append(f"  {name} = {entry['value']:g}")
+    for entry in sorted(metrics.get("histograms", []), key=sort_key):
+        name = format_metric_name(entry["name"], entry.get("labels", {}))
+        if entry["count"]:
+            bounds = tuple(entry["buckets"])
+            mean = entry["sum"] / entry["count"]
+            p50 = histogram_quantile(bounds, entry["counts"], 0.5)
+            p99 = histogram_quantile(bounds, entry["counts"], 0.99)
+            lines.append(
+                f"  {name}: count={entry['count']} mean={mean * 1e3:.3f}ms "
+                f"p50<={p50 * 1e3:.3f}ms p99<={p99 * 1e3:.3f}ms"
+            )
+        else:
+            lines.append(f"  {name}: count=0")
+    return lines
+
+
+def _command_stats(args: argparse.Namespace) -> str:
+    import json
+
+    config = EngineConfig.from_file(args.config)
+    log = collection = None
+    if args.events:
+        _require_mutable(config, "stats --events")
+        log = _load_event_log(args)
+        if config.dimension is None:
+            config = config.replace(dimension=_infer_dimension(log, args.dimension))
+    elif config.backend == "static":
+        collection = _build_collection(args)
+        if config.dimension is None:
+            config = config.replace(dimension=collection.dimension)
+    elif config.dimension is None and args.dimension is not None:
+        config = config.replace(dimension=args.dimension)
+
+    with JoinEstimationEngine(config) as engine:
+        if log is not None:
+            _replay_log(engine, log, args.batch_size, lambda _number, _label: None)
+            engine.flush()
+        elif collection is not None:
+            engine.ingest(collection)
+        if args.threshold is not None:
+            engine.estimate(args.threshold, seed=args.seed)
+        stats = engine.stats()
+    if args.json:
+        return json.dumps(stats, indent=2, sort_keys=True, default=str)
+
+    lines = [f"Engine stats — {args.config}", f"backend: {stats['backend']}"]
+    workers = stats.get("workers")
+    if workers:
+        lines.append("workers:")
+        for row in workers:
+            lines.append(
+                f"  shard {row['shard_id']}: pid={row['pid']} "
+                f"alive={row['alive']} size={row.get('size', '?')} "
+                f"ingest={row['worker_ingest_seconds']:.4f}s "
+                f"blocked={row['blocked_seconds']:.4f}s"
+            )
+    lines.append("metrics:")
+    metric_lines = _render_metrics(stats.get("metrics", {}))
+    lines.extend(metric_lines or ["  (no samples recorded)"])
+    return "\n".join(lines)
+
+
 def _command_worker(args: argparse.Namespace) -> str:
     from repro.cluster import parse_address, serve
 
@@ -588,6 +716,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_rebalance(args)
         elif args.command == "worker":
             output = _command_worker(args)
+        elif args.command == "stats":
+            output = _command_stats(args)
         else:
             output = _command_probabilities(args)
     except ReproError as error:

@@ -91,6 +91,9 @@ class ProcessBackend(ShardedBackend):
             "token": options.get("token"),
             "request_timeout": options.get("request_timeout", DEFAULT_REQUEST_TIMEOUT),
             "start_method": options.get("start_method"),
+            # coordinator-side instruments (transport counters, request
+            # counters, commit timings) land in this backend's registry
+            "metrics": self.metrics,
         }
 
     def open(self) -> None:
@@ -120,6 +123,7 @@ class ProcessBackend(ShardedBackend):
 
     def _attach_serving_stack(self) -> None:
         options = self.config.options
+        self._index.metrics = self.metrics
         self._router = ShardRouter(
             self._index,
             batch_size=options.get("batch_size", 256),
@@ -127,10 +131,11 @@ class ProcessBackend(ShardedBackend):
             # router threads would only add contention (None — the sharded
             # backend's "one per shard" — maps to 0 here)
             max_workers=options.get("workers") or 0,
+            metrics=self.metrics,
         )
         merge_kwargs = {key: options[key] for key in self._MERGE_KEYS if key in options}
         self._estimator = ShardedStreamingEstimator(
-            self._index, router=self._router, **merge_kwargs
+            self._index, router=self._router, metrics=self.metrics, **merge_kwargs
         )
 
     def close(self) -> None:
@@ -149,6 +154,22 @@ class ProcessBackend(ShardedBackend):
         description = super().describe()
         description["workers"] = self._index.worker_infos
         return description
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-wide stats: the coordinator's batched worker fan-out.
+
+        The coordinator's merged snapshot already folds this backend's
+        registry (the coordinator records into it) together with every
+        worker's process-global registry, so the merge happens exactly
+        once.
+        """
+        cluster = self._index.stats()
+        return {
+            "backend": self.kind,
+            "describe": self.describe(),
+            "workers": cluster["workers"],
+            "metrics": cluster["metrics"],
+        }
 
     # ------------------------------------------------------------------
     def to_state(self) -> Dict[str, Any]:

@@ -58,6 +58,8 @@ from repro.cluster.transport import (
 )
 from repro.cluster.worker import run_spawned_worker
 from repro.errors import ClusterError, ValidationError, WorkerCrashError
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import current_trace_context, get_tracer, trace
 from repro.rng import RandomState, ensure_rng, generator_state, spawn
 from repro.shard.sharded_index import IndexShard, PreparedBatch, ShardedMutableIndex
 from repro.streaming.mutable_index import restore_estimator_states
@@ -99,7 +101,12 @@ class WorkerHandle:
         #: worker's replies (operational telemetry; bench_cluster derives
         #: the coordinator-stage time of its pipeline model from it)
         self.blocked_seconds = 0.0
+        #: worker-reported handler wall time of the most recent reply
+        #: (from the reply meta envelope; 0.0 before the first reply)
+        self.last_op_seconds = 0.0
         self._coordinator = coordinator
+        self._metrics = coordinator.metrics
+        self._op_counters: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -135,10 +142,22 @@ class WorkerHandle:
 
     # ------------------------------------------------------------------
     def send_request(self, op: str, payload: Any = None) -> None:
-        """First half of a pipelined request (reply via :meth:`recv_reply`)."""
+        """First half of a pipelined request (reply via :meth:`recv_reply`).
+
+        The caller's trace context (if a span is open) rides along in the
+        frame meta, so worker-side spans stitch into the caller's tree;
+        retries of the same logical request reship the *same* context.
+        """
         self._check()
+        counter = self._op_counters.get(op)
+        if counter is None:
+            counter = self._op_counters[op] = self._metrics.counter(
+                "cluster_requests_total", op=op
+            )
+        counter.inc()
+        trace_ctx = current_trace_context()
         try:
-            self.conn.send(op, payload)
+            self.conn.send(op, payload, {"trace": trace_ctx} if trace_ctx else None)
         except WorkerCrashError as error:
             self._fail(error, op)
 
@@ -148,6 +167,10 @@ class WorkerHandle:
         Worker-side *operation* errors re-raise as their own library
         types (the stream stays aligned — the worker survives them);
         transport errors mark the worker, and the cluster, broken.
+
+        The reply meta envelope is unpacked here: ``seconds`` lands in
+        :attr:`last_op_seconds` (even for error replies) and shipped-back
+        worker spans are adopted into the coordinator's tracer.
         """
         started = time.perf_counter()
         try:
@@ -156,6 +179,11 @@ class WorkerHandle:
             self._fail(error, op)
         finally:
             self.blocked_seconds += time.perf_counter() - started
+            meta = self.conn.last_meta
+            self.last_op_seconds = float(meta.get("seconds", 0.0))
+            spans = meta.get("spans")
+            if spans:
+                get_tracer().adopt(spans)
 
     def request(self, op: str, payload: Any = None) -> Any:
         self.send_request(op, payload)
@@ -291,7 +319,6 @@ class RemoteIndexProxy:
     # -- mirror maintenance --------------------------------------------
     def _apply_stats(self, reply: Mapping[str, Any]) -> None:
         self._num_collision_pairs = int(reply["num_collision_pairs"])
-        self.worker_ingest_seconds += float(reply.get("seconds", 0.0))
         if int(reply["size"]) != self.size:
             raise ClusterError(
                 f"shard {self._handle.shard_id} drifted: worker holds "
@@ -330,6 +357,9 @@ class RemoteIndexProxy:
         )
         self._mirror_insert_many([int(vector_id)])
         self._apply_stats(reply)
+        # ingest accounting draws on the reply meta's handler wall time;
+        # only insert ops count (delete/check report seconds too now)
+        self.worker_ingest_seconds += self._handle.last_op_seconds
         return int(vector_id)
 
     def insert_many_prepared(self, ids, csr, signatures) -> np.ndarray:
@@ -338,6 +368,7 @@ class RemoteIndexProxy:
         )
         self._mirror_insert_many(ids)
         self._apply_stats(reply)
+        self.worker_ingest_seconds += self._handle.last_op_seconds
         return ids
 
     def delete(self, vector_id: int) -> None:
@@ -469,6 +500,7 @@ class ClusterCoordinator(ShardedMutableIndex):
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._init_cluster_plumbing(
             addresses=addresses,
@@ -476,6 +508,7 @@ class ClusterCoordinator(ShardedMutableIndex):
             request_timeout=request_timeout,
             spawn_timeout=spawn_timeout,
             start_method=start_method,
+            metrics=metrics,
         )
         if self._addresses is not None and len(self._addresses) != int(num_shards):
             self.close()
@@ -508,7 +541,9 @@ class ClusterCoordinator(ShardedMutableIndex):
         request_timeout,
         spawn_timeout,
         start_method,
+        metrics=None,
     ) -> None:
+        self._metrics = metrics  # resolved lazily by the `metrics` property
         #: live id → primary bucket key; answers signature_key / SampleL
         #: rejection tests without any worker round trip
         self._key_of_id: Dict[int, bytes] = {}
@@ -590,6 +625,45 @@ class ClusterCoordinator(ShardedMutableIndex):
             for handle in self._handles
         ]
 
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-wide operational statistics in one batched round trip.
+
+        Sends ``stats`` (with the metrics opt-in) to every worker before
+        awaiting any reply — the fan-out costs one round-trip latency,
+        not one per shard.  Returns per-worker rows (size, buckets,
+        staleness, :attr:`WorkerHandle.blocked_seconds`,
+        :attr:`RemoteIndexProxy.worker_ingest_seconds`) plus a single
+        merged metrics snapshot: the coordinator's own registry folded
+        together with every worker's process-global registry.
+        """
+        self._check_usable()
+        with trace("cluster.stats", shards=len(self.shards)):
+            for shard in self.shards:
+                shard.index._handle.send_request("stats", {"metrics": True})
+            merged = self.metrics.snapshot()
+            workers: List[Dict[str, Any]] = []
+            for shard in self.shards:
+                handle = shard.index._handle
+                reply = dict(handle.recv_reply("stats"))
+                worker_metrics = reply.pop("metrics", None)
+                if worker_metrics:
+                    merged = merged.merge(MetricsSnapshot.from_dict(worker_metrics))
+                row: Dict[str, Any] = {
+                    "shard_id": handle.shard_id,
+                    "pid": handle.pid,
+                    "address": None
+                    if handle.address is None
+                    else f"{handle.address[0]}:{handle.address[1]}",
+                    "alive": handle.alive,
+                    "blocked_seconds": handle.blocked_seconds,
+                    "worker_ingest_seconds": shard.index.worker_ingest_seconds,
+                }
+                for key in ("size", "num_buckets", "staleness_h", "staleness_l"):
+                    if key in reply:
+                        row[key] = reply[key]
+                workers.append(row)
+            return {"workers": workers, "metrics": merged.to_dict()}
+
     # ------------------------------------------------------------------
     # worker construction
     # ------------------------------------------------------------------
@@ -631,9 +705,9 @@ class ClusterCoordinator(ShardedMutableIndex):
                         f"shard {shard_id} worker did not connect within "
                         f"{self._spawn_timeout:.0f}s"
                     ) from None
-        conn = Connection(client, timeout=self._request_timeout)
+        conn = Connection(client, timeout=self._request_timeout, metrics=self.metrics)
         try:
-            op, payload = conn.recv()
+            op, payload, _meta = conn.recv()
             if op != "hello":
                 raise ClusterError(f"expected worker 'hello', got {op!r}")
             payload = payload or {}
@@ -673,7 +747,7 @@ class ClusterCoordinator(ShardedMutableIndex):
                 f"cannot reach the shard {shard_id} worker at "
                 f"{address[0]}:{address[1]}: {error}"
             ) from error
-        conn = Connection(sock, timeout=self._request_timeout)
+        conn = Connection(sock, timeout=self._request_timeout, metrics=self.metrics)
         try:
             conn.send(
                 "hello",
@@ -766,34 +840,40 @@ class ClusterCoordinator(ShardedMutableIndex):
         in-process partial commit.
         """
         self._check_usable()
-        jobs = []
-        for shard in self.shards:
-            rows = np.flatnonzero(batch.shard_ids == shard.shard_id)
-            if rows.size == 0:
-                continue
-            payload = {
-                "ids": batch.ids[rows],
-                "csr": batch.csr[rows],
-                "signatures": [
-                    table_signatures[rows] for table_signatures in batch.signatures
-                ],
-            }
-            jobs.append((shard, payload))
-        for shard, payload in jobs:
-            shard.index._handle.send_request("insert_prepared", payload)
-        # merge bookkeeping overlaps with the workers' bucket inserts
-        for position in range(len(batch)):
-            self._track_insert(
-                int(batch.ids[position]), batch.keys[position], int(batch.shard_ids[position])
-            )
-        for shard, payload in jobs:
-            reply = shard.index._handle.recv_reply("insert_prepared")
-            shard.index._mirror_insert_many(payload["ids"])
-            shard.index._apply_stats(reply)
-        for position in range(len(batch)):
-            vector_id = int(batch.ids[position])
-            for observer in self._observers:
-                observer.on_insert(vector_id)
+        histogram, rows_total = self._commit_instruments()
+        commit_started = time.perf_counter()
+        with trace("cluster.commit_batch", rows=len(batch)):
+            jobs = []
+            for shard in self.shards:
+                rows = np.flatnonzero(batch.shard_ids == shard.shard_id)
+                if rows.size == 0:
+                    continue
+                payload = {
+                    "ids": batch.ids[rows],
+                    "csr": batch.csr[rows],
+                    "signatures": [
+                        table_signatures[rows] for table_signatures in batch.signatures
+                    ],
+                }
+                jobs.append((shard, payload))
+            for shard, payload in jobs:
+                shard.index._handle.send_request("insert_prepared", payload)
+            # merge bookkeeping overlaps with the workers' bucket inserts
+            for position in range(len(batch)):
+                self._track_insert(
+                    int(batch.ids[position]), batch.keys[position], int(batch.shard_ids[position])
+                )
+            for shard, payload in jobs:
+                reply = shard.index._handle.recv_reply("insert_prepared")
+                shard.index._mirror_insert_many(payload["ids"])
+                shard.index._apply_stats(reply)
+                shard.index.worker_ingest_seconds += shard.index._handle.last_op_seconds
+            for position in range(len(batch)):
+                vector_id = int(batch.ids[position])
+                for observer in self._observers:
+                    observer.on_insert(vector_id)
+        histogram.observe(time.perf_counter() - commit_started)
+        rows_total.inc(len(batch))
         return batch.ids
 
     # ------------------------------------------------------------------
@@ -830,6 +910,7 @@ class ClusterCoordinator(ShardedMutableIndex):
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         start_method: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "ClusterCoordinator":
         """Revive a cluster from a :meth:`ShardedMutableIndex.to_state` snapshot.
 
@@ -845,6 +926,7 @@ class ClusterCoordinator(ShardedMutableIndex):
             request_timeout=request_timeout,
             spawn_timeout=spawn_timeout,
             start_method=start_method,
+            metrics=metrics,
         )
         try:
             num_shards = int(state["num_shards"])

@@ -1,16 +1,23 @@
 """Length-prefixed pickle framing for the coordinator ↔ worker protocol.
 
 One frame is an 8-byte big-endian length followed by that many bytes of
-pickle.  A message is the tuple ``(op, payload)`` where ``op`` is a short
-string and ``payload`` a dict whose values are exactly the objects the
-library already serialises elsewhere — prepared-batch slices (ids / CSR
-rows / signatures), :meth:`MutableLSHIndex.to_state` snapshots, and
+pickle.  A message is the tuple ``(op, payload, meta)`` where ``op`` is
+a short string, ``payload`` a dict whose values are exactly the objects
+the library already serialises elsewhere — prepared-batch slices (ids /
+CSR rows / signatures), :meth:`MutableLSHIndex.to_state` snapshots, and
 :func:`split_index_state` migration payloads — so the wire format is the
-snapshot substrate, not a second serialisation scheme.
+snapshot substrate, not a second serialisation scheme.  ``meta`` is an
+optional out-of-band envelope dict that never carries data the op
+handler needs: requests use it to propagate the trace context
+(``{"trace": {"trace_id", "span_id"}}``), replies to carry op timing
+(``{"seconds": ...}``) and finished worker spans (``{"spans": [...]}``).
+Two-element ``(op, payload)`` frames are still accepted on receive with
+an empty meta, and a ``None`` meta is encoded as the legacy 2-tuple, so
+payload-only exchanges are byte-identical to protocol version 1.
 
-Replies reuse the same frames: ``("ok", result)`` or ``("error",
-payload)`` where the payload carries the worker-side exception (the
-exception object itself when it is one of the library's own
+Replies reuse the same frames: ``("ok", result, meta)`` or ``("error",
+payload, meta)`` where the payload carries the worker-side exception
+(the exception object itself when it is one of the library's own
 :class:`~repro.errors.ReproError` types, so e.g. an
 :class:`~repro.errors.InsufficientSampleError` raised inside a worker
 surfaces as the same type at the coordinator).
@@ -30,8 +37,10 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ClusterError, ReproError, ValidationError, WorkerCrashError
 
-#: wire protocol version; bumped on incompatible frame/op changes
-PROTOCOL_VERSION = 1
+#: wire protocol version; bumped on incompatible frame/op changes.
+#: 2: messages gained an optional third ``meta`` element (trace context
+#: on requests; op timing and spans on replies).
+PROTOCOL_VERSION = 2
 
 #: refuse frames beyond this size (corrupt length prefix / runaway state)
 MAX_FRAME_BYTES = 4 << 30
@@ -75,18 +84,55 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_message(sock: socket.socket, op: str, payload: Any) -> None:
-    """Frame and send one ``(op, payload)`` message."""
-    body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+def encode_message(op: str, payload: Any, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Frame one message: header + pickled ``(op, payload[, meta])``.
+
+    An empty/absent meta encodes as the 2-tuple form, keeping frames
+    without envelope data identical to protocol version 1.
+    """
+    if meta:
+        body = pickle.dumps((op, payload, meta), protocol=pickle.HIGHEST_PROTOCOL)
+    else:
+        body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
     if len(body) > MAX_FRAME_BYTES:
         raise ClusterError(
             f"refusing to send a {len(body)}-byte frame (> {MAX_FRAME_BYTES})"
         )
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.pack(len(body)) + body
 
 
-def recv_message(sock: socket.socket) -> Tuple[str, Any]:
-    """Receive one framed ``(op, payload)`` message (blocking)."""
+def decode_message(body: bytes) -> Tuple[str, Any, Dict[str, Any]]:
+    """Decode one frame body into ``(op, payload, meta)``; meta defaults ``{}``."""
+    message = pickle.loads(body)
+    if not (
+        isinstance(message, tuple)
+        and len(message) in (2, 3)
+        and isinstance(message[0], str)
+    ):
+        raise ClusterError(
+            f"malformed frame: expected (op, payload[, meta]), got {type(message)}"
+        )
+    if len(message) == 2:
+        return message[0], message[1], {}
+    op, payload, meta = message
+    if meta is None:
+        meta = {}
+    elif not isinstance(meta, dict):
+        raise ClusterError(f"malformed frame: meta must be a dict, got {type(meta)}")
+    return op, payload, meta
+
+
+def send_message(
+    sock: socket.socket, op: str, payload: Any, meta: Optional[Dict[str, Any]] = None
+) -> int:
+    """Frame and send one message; returns the bytes put on the wire."""
+    frame = encode_message(op, payload, meta)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_frame(sock: socket.socket) -> Tuple[int, Tuple[str, Any, Dict[str, Any]]]:
+    """Receive one frame; returns (wire_bytes, decoded message)."""
     header = _recv_exactly(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
@@ -95,10 +141,12 @@ def recv_message(sock: socket.socket) -> Tuple[str, Any]:
             "corrupt stream or protocol mismatch"
         )
     body = _recv_exactly(sock, int(length))
-    message = pickle.loads(body)
-    if not (isinstance(message, tuple) and len(message) == 2 and isinstance(message[0], str)):
-        raise ClusterError(f"malformed frame: expected (op, payload), got {type(message)}")
-    return message
+    return _HEADER.size + int(length), decode_message(body)
+
+
+def recv_message(sock: socket.socket) -> Tuple[str, Any, Dict[str, Any]]:
+    """Receive one framed ``(op, payload, meta)`` message (blocking)."""
+    return _recv_frame(sock)[1]
 
 
 def describe_error(error: BaseException) -> Dict[str, Any]:
@@ -148,11 +196,33 @@ class Connection:
     batch commit can be *pipelined* — send to every worker first, then
     collect every reply — which is where the multi-process parallelism
     of the ingest path comes from.
+
+    When a :class:`~repro.obs.MetricsRegistry` is attached, the
+    connection counts frames and bytes in each direction
+    (``transport_frames_total`` / ``transport_bytes_total`` labelled by
+    ``direction``).  :attr:`last_meta` holds the meta envelope of the
+    most recently received reply — set *before* status unwrapping, so
+    timing survives even error replies.
     """
 
-    def __init__(self, sock: socket.socket, *, timeout: Optional[float] = None):
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        timeout: Optional[float] = None,
+        metrics: Optional[Any] = None,
+    ):
         self._sock = sock
         sock.settimeout(timeout)
+        self.last_meta: Dict[str, Any] = {}
+        if metrics is not None:
+            self._frames_out = metrics.counter("transport_frames_total", direction="out")
+            self._frames_in = metrics.counter("transport_frames_total", direction="in")
+            self._bytes_out = metrics.counter("transport_bytes_total", direction="out")
+            self._bytes_in = metrics.counter("transport_bytes_total", direction="in")
+        else:
+            self._frames_out = self._frames_in = None
+            self._bytes_out = self._bytes_in = None
 
     @property
     def closed(self) -> bool:
@@ -163,19 +233,24 @@ class Connection:
         if self._sock is not None:
             self._sock.settimeout(timeout)
 
-    def send(self, op: str, payload: Any = None) -> None:
+    def send(
+        self, op: str, payload: Any = None, meta: Optional[Dict[str, Any]] = None
+    ) -> None:
         if self._sock is None:
             raise ConnectionClosed("connection is closed")
         try:
-            send_message(self._sock, op, payload)
+            sent = send_message(self._sock, op, payload, meta)
         except (OSError, ValueError) as error:
             raise ConnectionClosed(f"send failed: {error}") from error
+        if self._frames_out is not None:
+            self._frames_out.inc()
+            self._bytes_out.inc(sent)
 
-    def recv(self) -> Tuple[str, Any]:
+    def recv(self) -> Tuple[str, Any, Dict[str, Any]]:
         if self._sock is None:
             raise ConnectionClosed("connection is closed")
         try:
-            return recv_message(self._sock)
+            wire_bytes, (op, payload, meta) = _recv_frame(self._sock)
         except socket.timeout as error:
             raise WorkerCrashError(
                 "timed out waiting for a worker reply (worker hung or overloaded)"
@@ -184,19 +259,32 @@ class Connection:
             raise
         except (OSError, ValueError, pickle.UnpicklingError, EOFError) as error:
             raise ConnectionClosed(f"receive failed: {error}") from error
+        if self._frames_in is not None:
+            self._frames_in.inc()
+            self._bytes_in.inc(wire_bytes)
+        return op, payload, meta
 
     def recv_reply(self, *, context: str) -> Any:
         """Receive one reply frame; unwrap ``ok`` or re-raise ``error``."""
-        status, payload = self.recv()
+        self.last_meta = {}  # never leak a previous reply's envelope
+        status, payload, meta = self.recv()
+        self.last_meta = meta
         if status == "ok":
             return payload
         if status == "error":
             raise_remote_error(payload, context=context)
         raise ClusterError(f"{context}: unexpected reply status {status!r}")
 
-    def request(self, op: str, payload: Any = None, *, context: str = "") -> Any:
+    def request(
+        self,
+        op: str,
+        payload: Any = None,
+        *,
+        context: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Any:
         """One synchronous round trip: send ``op``, await the reply."""
-        self.send(op, payload)
+        self.send(op, payload, meta)
         return self.recv_reply(context=context or f"op {op!r}")
 
     def close(self) -> None:
@@ -218,6 +306,8 @@ __all__ = [
     "Connection",
     "ConnectionClosed",
     "parse_address",
+    "encode_message",
+    "decode_message",
     "send_message",
     "recv_message",
     "describe_error",

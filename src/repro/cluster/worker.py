@@ -51,6 +51,8 @@ from repro.cluster.transport import (
     describe_error,
 )
 from repro.errors import ClusterError, ValidationError
+from repro.obs.metrics import get_global_registry
+from repro.obs.tracing import activate_trace_context, get_tracer, trace
 from repro.rng import generator_from_state, generator_state
 from repro.streaming.estimator import StreamingEstimator
 from repro.streaming.mutable_index import MutableLSHIndex
@@ -159,12 +161,8 @@ class ShardWorker:
 
     def op_insert_prepared(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         index = self._require_index()
-        started = time.perf_counter()
         index.insert_many_prepared(payload["ids"], payload["csr"], payload["signatures"])
-        # worker-side compute time: operational telemetry (mirrored into
-        # RemoteIndexProxy.worker_ingest_seconds) and the per-stage input
-        # of the bench_cluster pipeline model
-        return {"seconds": time.perf_counter() - started, **self._stats()}
+        return self._stats()
 
     def op_delete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         index = self._require_index()
@@ -228,7 +226,12 @@ class ShardWorker:
         return self._stats()
 
     def op_stats(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        return self._stats()
+        stats = self._stats()
+        if payload.get("metrics"):
+            # opt-in: the worker's process-global registry (per-op latency
+            # histograms etc.), merged coordinator-side by stats fan-outs
+            stats["metrics"] = get_global_registry().snapshot().to_dict()
+        return stats
 
     # ------------------------------------------------------------------
     def handle(self, op: str, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -245,10 +248,22 @@ def serve_connection(conn: Connection, worker: ShardWorker) -> bool:
     reply and the session continues) and ends cleanly on EOF — a
     coordinator that crashed without saying goodbye must not leave the
     worker process spinning.
+
+    Telemetry lives in the reply *meta* envelope, never the payload: every
+    reply carries ``{"seconds": <handler wall time>}`` (this feeds
+    ``RemoteIndexProxy.worker_ingest_seconds`` and the bench_cluster
+    pipeline model), and when the request meta shipped a trace context the
+    worker's finished spans ride back as ``{"spans": [...]}`` so the
+    coordinator stitches them into the caller's trace tree.  Per-op wall
+    time also lands in this process's global metrics registry
+    (``worker_op_seconds{op=...}``), exported on ``stats`` fan-outs.
     """
+    registry = get_global_registry()
+    tracer = get_tracer()
+    op_histograms: Dict[str, Any] = {}
     while True:
         try:
-            op, payload = conn.recv()
+            op, payload, request_meta = conn.recv()
         except ConnectionClosed:
             return False  # coordinator went away: end of session
         if op == "shutdown":
@@ -257,14 +272,40 @@ def serve_connection(conn: Connection, worker: ShardWorker) -> bool:
             except ConnectionClosed:
                 pass
             return True
+        trace_ctx = request_meta.get("trace")
+        started = time.perf_counter()
+        span = None
         try:
-            result = worker.handle(op, payload)
+            if trace_ctx is not None:
+                with activate_trace_context(trace_ctx):
+                    with trace(f"worker.{op}", shard_id=worker.shard_id) as span:
+                        result = worker.handle(op, payload)
+            else:
+                result = worker.handle(op, payload)
         except Exception as error:  # noqa: BLE001 - reported to the peer
-            reply = ("error", describe_error(error))
+            status, body = "error", describe_error(error)
+            if span is not None:
+                span.set_attribute("error", body["type"])
         else:
-            reply = ("ok", result)
+            status, body = "ok", result
+        elapsed = time.perf_counter() - started
+        histogram = op_histograms.get(op)
+        if histogram is None:
+            histogram = op_histograms[op] = registry.histogram(
+                "worker_op_seconds", op=op
+            )
+        histogram.observe(elapsed)
+        reply_meta: Dict[str, Any] = {"seconds": elapsed}
+        if trace_ctx is not None:
+            # ship only this trace's spans; anything else (same-process
+            # test harnesses sharing the global tracer) goes back in the
+            # buffer untouched
+            drained = tracer.drain()
+            mine = [s for s in drained if s.trace_id == trace_ctx["trace_id"]]
+            tracer.adopt(s for s in drained if s.trace_id != trace_ctx["trace_id"])
+            reply_meta["spans"] = [s.to_dict() for s in mine]
         try:
-            conn.send(*reply)
+            conn.send(status, body, reply_meta)
         except ConnectionClosed:
             return False
 
@@ -335,7 +376,7 @@ def serve(
             client, _peer = listener.accept()
             conn = Connection(client, timeout=None)
             try:
-                op, payload = conn.recv()
+                op, payload, _meta = conn.recv()
                 if op != "hello":
                     raise ClusterError(f"expected 'hello', got {op!r}")
                 _check_hello(payload or {}, token)

@@ -32,6 +32,8 @@ provenance, not arithmetic.
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple, Type
 
 from scipy import sparse
@@ -48,6 +50,7 @@ from repro.core import (
 from repro.engine.config import EngineConfig
 from repro.errors import UnsupportedOperationError, ValidationError
 from repro.lsh import LSHIndex
+from repro.obs.metrics import MetricsRegistry, get_global_registry
 from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
 from repro.shard.partition import resolve_partitioner
 from repro.shard.rebalance import RebalancePlan, plan_rebalance, rebalance_cluster
@@ -95,6 +98,30 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: the registry backends constructed inside a :func:`metrics_scope` adopt
+_construction_metrics: ContextVar[Optional[MetricsRegistry]] = ContextVar(
+    "repro_backend_construction_metrics", default=None
+)
+
+
+@contextmanager
+def metrics_scope(registry: Optional[MetricsRegistry]):
+    """Backends constructed inside this block record into ``registry``.
+
+    The engine wraps backend construction (both ``open`` and
+    ``from_state`` paths) in this scope so per-engine registries reach
+    every layer *without* widening the ``from_state`` classmethod
+    signature — third-party backends registered via
+    :func:`register_backend` keep working unchanged and still pick up
+    the engine's registry through :attr:`EstimatorBackend.metrics`.
+    """
+    token = _construction_metrics.set(registry)
+    try:
+        yield
+    finally:
+        _construction_metrics.reset(token)
+
+
 class EstimatorBackend(abc.ABC):
     """The protocol every deployment shape implements for the engine.
 
@@ -114,6 +141,13 @@ class EstimatorBackend(abc.ABC):
 
     def __init__(self, config: EngineConfig):
         self.config = config
+        #: the metrics registry this backend (and the layers it builds)
+        #: records into: the enclosing :func:`metrics_scope`'s registry
+        #: when constructed by an engine, else the process-global default
+        scoped = _construction_metrics.get()
+        self.metrics: MetricsRegistry = (
+            scoped if scoped is not None else get_global_registry()
+        )
 
     # -- lifecycle -----------------------------------------------------
     @abc.abstractmethod
@@ -175,6 +209,19 @@ class EstimatorBackend(abc.ABC):
         )
 
     # -- statistics ----------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Operational statistics: :meth:`describe` + a metrics snapshot.
+
+        Backends with richer sources override this (the process backend
+        fans out to its workers and merges their registries); the default
+        is purely local and never blocks on I/O.
+        """
+        return {
+            "backend": self.kind,
+            "describe": self.describe(),
+            "metrics": self.metrics.snapshot().to_dict(),
+        }
+
     @property
     @abc.abstractmethod
     def size(self) -> int:
@@ -552,14 +599,16 @@ class ShardedBackend(EstimatorBackend):
 
     def _attach_serving_stack(self) -> None:
         options = self.config.options
+        self._index.metrics = self.metrics
         self._router = ShardRouter(
             self._index,
             batch_size=options.get("batch_size", 256),
             max_workers=options.get("workers"),
+            metrics=self.metrics,
         )
         merge_kwargs = {key: options[key] for key in self._MERGE_KEYS if key in options}
         self._estimator = ShardedStreamingEstimator(
-            self._index, router=self._router, **merge_kwargs
+            self._index, router=self._router, metrics=self.metrics, **merge_kwargs
         )
 
     def close(self) -> None:
@@ -703,6 +752,7 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "available_backends",
+    "metrics_scope",
 ]
 
 # registers the "process" backend (module-level side effect).  A plain

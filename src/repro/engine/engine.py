@@ -33,9 +33,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
-from repro.engine.backends import EstimatorBackend, resolve_backend
+from repro.engine.backends import EstimatorBackend, metrics_scope, resolve_backend
 from repro.engine.config import EngineConfig
 from repro.errors import IndexNotBuiltError, ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace
 from repro.shard.rebalance import RebalancePlan
 from repro.streaming.events import ChangeLog, Checkpoint, Delete, Insert
 from repro.vectors import VectorCollection
@@ -104,6 +106,10 @@ class Provenance:
     mode: str
     wall_time_seconds: float
     backend_details: Dict[str, Any] = field(default_factory=dict)
+    #: the serving engine's :meth:`MetricsSnapshot.to_dict` at reply
+    #: time — counters/latencies accumulated up to and including this
+    #: estimate (empty when the serving path carries no engine)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -112,6 +118,7 @@ class Provenance:
             "mode": self.mode,
             "wall_time_seconds": self.wall_time_seconds,
             "backend_details": dict(self.backend_details),
+            "metrics": dict(self.metrics),
         }
 
 
@@ -154,10 +161,27 @@ class JoinEstimationEngine:
     context manager (``with JoinEstimationEngine(cfg) as engine: …``).
     """
 
-    def __init__(self, config: Union[EngineConfig, Mapping[str, Any], str, Path]):
+    def __init__(
+        self,
+        config: Union[EngineConfig, Mapping[str, Any], str, Path],
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.config = EngineConfig.coerce(config)
+        #: this engine's metrics registry — fresh per engine by default,
+        #: so two engines in one process never mix their counters; pass
+        #: a shared registry (e.g. the process-global one) to pool them.
+        #: Backend construction runs inside a metrics_scope, so every
+        #: layer underneath records here too.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._backend: Optional[EstimatorBackend] = None
         self._closed = False
+        # handles cached up front: the per-call hot path never touches
+        # the registry lock
+        self._estimate_seconds = self.metrics.histogram("engine_estimate_seconds")
+        self._estimates_total = self.metrics.counter("engine_estimates_total")
+        self._ingest_seconds = self.metrics.histogram("engine_ingest_seconds")
+        self._ingested_total = self.metrics.counter("engine_ingested_events_total")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -179,8 +203,10 @@ class JoinEstimationEngine:
         """Build the configured backend; returns ``self`` for chaining."""
         if self._backend is not None and not self._closed:
             raise ValidationError("engine is already open")
-        backend = resolve_backend(self.config.backend)(self.config)
-        backend.open()
+        with trace("engine.open", backend=self.config.backend):
+            with metrics_scope(self.metrics):
+                backend = resolve_backend(self.config.backend)(self.config)
+                backend.open()
         self._backend = backend
         self._closed = False
         return self
@@ -196,7 +222,8 @@ class JoinEstimationEngine:
         """
         if self._backend is not None and not self._closed:
             try:
-                self._backend.close()
+                with trace("engine.close", backend=self.config.backend):
+                    self._backend.close()
             finally:
                 self._closed = True
 
@@ -231,19 +258,24 @@ class JoinEstimationEngine:
         number of mutations applied (checkpoints count zero).
         """
         backend = self.backend
-        if isinstance(source, VectorCollection):
-            return backend.ingest_collection(source)
-        if isinstance(source, _EVENT_TYPES):
-            return backend.apply_event(source)
-        if isinstance(source, (ChangeLog, Iterable)):
-            applied = 0
-            for event in source:
-                applied += backend.apply_event(event)
-            return applied
-        raise ValidationError(
-            f"cannot ingest {type(source).__name__}; expected a "
-            "VectorCollection, a change event, or an iterable of events"
-        )
+        started = time.perf_counter()
+        with trace("engine.ingest", backend=backend.kind):
+            if isinstance(source, VectorCollection):
+                applied = backend.ingest_collection(source)
+            elif isinstance(source, _EVENT_TYPES):
+                applied = backend.apply_event(source)
+            elif isinstance(source, (ChangeLog, Iterable)):
+                applied = 0
+                for event in source:
+                    applied += backend.apply_event(event)
+            else:
+                raise ValidationError(
+                    f"cannot ingest {type(source).__name__}; expected a "
+                    "VectorCollection, a change event, or an iterable of events"
+                )
+        self._ingest_seconds.observe(time.perf_counter() - started)
+        self._ingested_total.inc(applied)
+        return applied
 
     def flush(self) -> None:
         """Make buffered writes visible (no-op for unbuffered backends)."""
@@ -303,13 +335,21 @@ class JoinEstimationEngine:
         backend = self.backend
         resolved_seed = self.config.seed if request.seed is None else int(request.seed)
         started = time.perf_counter()
-        estimate = backend.estimate(
-            request.threshold,
+        with trace(
+            "engine.estimate",
+            backend=backend.kind,
             mode=request.mode,
-            random_state=resolved_seed,
-            estimator=request.estimator,
-        )
+            threshold=request.threshold,
+        ):
+            estimate = backend.estimate(
+                request.threshold,
+                mode=request.mode,
+                random_state=resolved_seed,
+                estimator=request.estimator,
+            )
         wall_time = time.perf_counter() - started
+        self._estimate_seconds.observe(wall_time)
+        self._estimates_total.inc()
         return EstimateResult(
             value=estimate.value,
             estimator=estimate.estimator,
@@ -321,6 +361,7 @@ class JoinEstimationEngine:
                 mode=request.mode,
                 wall_time_seconds=wall_time,
                 backend_details=backend.describe(),
+                metrics=self.metrics.snapshot().to_dict(),
             ),
         )
 
@@ -329,14 +370,15 @@ class JoinEstimationEngine:
     # ------------------------------------------------------------------
     def snapshot(self, path: Union[str, Path]) -> None:
         """Write config + backend state as one restorable bundle."""
-        state = {
-            "format": 1,
-            "kind": "engine-snapshot",
-            "config": self.config.to_dict(),
-            "backend": self.backend.to_state(),
-        }
-        with open(path, "wb") as handle:
-            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        with trace("engine.snapshot", backend=self.config.backend):
+            state = {
+                "format": 1,
+                "kind": "engine-snapshot",
+                "config": self.config.to_dict(),
+                "backend": self.backend.to_state(),
+            }
+            with open(path, "wb") as handle:
+                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     @classmethod
     def restore(
@@ -344,6 +386,7 @@ class JoinEstimationEngine:
         path: Union[str, Path],
         *,
         config: Union[EngineConfig, Mapping[str, Any], str, Path, None] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "JoinEstimationEngine":
         """Revive an engine from :meth:`snapshot` output.
 
@@ -385,8 +428,12 @@ class JoinEstimationEngine:
                 )
         else:
             config = snapshot_config
-        engine = cls(config)
-        engine._backend = resolve_backend(config.backend).from_state(config, backend_state)
+        engine = cls(config, metrics=metrics)
+        with trace("engine.open", backend=config.backend, restored=True):
+            with metrics_scope(engine.metrics):
+                engine._backend = resolve_backend(config.backend).from_state(
+                    config, backend_state
+                )
         engine._closed = False
         return engine
 
@@ -417,9 +464,10 @@ class JoinEstimationEngine:
         rebalance updates :attr:`config` to the adopted shard count and
         partitioner, so snapshots taken afterwards describe reality.
         """
-        plan = self.backend.rebalance(
-            num_shards=num_shards, partitioner=partitioner, dry_run=dry_run
-        )
+        with trace("engine.rebalance", backend=self.config.backend, dry_run=dry_run):
+            plan = self.backend.rebalance(
+                num_shards=num_shards, partitioner=partitioner, dry_run=dry_run
+            )
         self.config = self.backend.config  # adopt any rebalance-driven update
         return plan
 
@@ -442,6 +490,21 @@ class JoinEstimationEngine:
         if self.is_open:
             description["backend"] = self.backend.describe()
         return description
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational statistics: config + the backend's stats surface.
+
+        Delegates to :meth:`EstimatorBackend.stats`, so a process-cluster
+        engine returns per-worker rows and a snapshot merged across every
+        worker registry; a closed engine still reports its own registry.
+        """
+        stats: Dict[str, Any] = {"config": self.config.to_dict()}
+        if self.is_open:
+            stats.update(self.backend.stats())
+        else:
+            stats["backend"] = self.config.backend
+            stats["metrics"] = self.metrics.snapshot().to_dict()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         status = "open" if self.is_open else "closed"

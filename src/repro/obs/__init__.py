@@ -1,0 +1,66 @@
+"""Observability: metrics registry, span tracing, and JSON export.
+
+Three small layers, all stdlib+numpy and all silent by default:
+
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket latency
+  histograms in a :class:`MetricsRegistry`; snapshots are plain dicts
+  that merge associatively, so per-worker registries fold into one.
+- :mod:`repro.obs.tracing` — ``trace(name)`` context managers building
+  span trees whose context propagates through the cluster protocol, so
+  one estimate stitches into a single trace across processes.
+- :mod:`repro.obs.export` — JSON-line logging through the stdlib
+  ``repro.obs`` logger (``NullHandler`` attached; opt in with
+  :func:`enable_json_logging`).
+
+``set_enabled(False)`` turns all collection off process-wide; the hot
+paths then pay a single flag read.
+"""
+
+from repro.obs._state import obs_enabled, set_enabled
+from repro.obs.export import enable_json_logging, log_json, logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    format_metric_name,
+    get_global_registry,
+    histogram_quantile,
+    set_global_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    activate_trace_context,
+    current_trace_context,
+    get_tracer,
+    set_tracer,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "Tracer",
+    "activate_trace_context",
+    "current_trace_context",
+    "enable_json_logging",
+    "format_metric_name",
+    "get_global_registry",
+    "get_tracer",
+    "histogram_quantile",
+    "log_json",
+    "logger",
+    "obs_enabled",
+    "set_enabled",
+    "set_global_registry",
+    "set_tracer",
+    "trace",
+]

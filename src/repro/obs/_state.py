@@ -1,0 +1,34 @@
+"""The process-wide observability switch.
+
+A single module-level flag read on every hot-path instrument operation
+(counter increments, histogram observations, span creation).  Reading a
+module attribute costs nanoseconds, which is what keeps the instrumented
+estimate/ingest paths within the ≤ 3 % overhead gate of
+``benchmarks/bench_obs.py`` even when callers leave observability on —
+and makes turning it *off* genuinely free.
+
+Split into its own module so :mod:`repro.obs.metrics` and
+:mod:`repro.obs.tracing` share one flag without a circular import.
+"""
+
+from __future__ import annotations
+
+#: collection switch: instruments early-return when False
+enabled: bool = True
+
+
+def set_enabled(value: bool) -> bool:
+    """Enable/disable all metric and trace collection; returns the old value.
+
+    Disabling never loses already-collected data — counters, histograms,
+    and span buffers keep their contents; they just stop accumulating.
+    """
+    global enabled
+    previous = enabled
+    enabled = bool(value)
+    return previous
+
+
+def obs_enabled() -> bool:
+    """Whether metric/trace collection is currently on."""
+    return enabled

@@ -1,0 +1,52 @@
+"""Structured JSON-line export over stdlib :mod:`logging`.
+
+The library never prints and never configures logging: everything goes
+through the ``repro.obs`` logger, which carries a ``NullHandler`` so a
+bare import stays silent.  Applications opt in either with their own
+logging config or with the one-call :func:`enable_json_logging` helper,
+after which every metric/span event arrives as one JSON object per line
+— machine-parseable without a log-shipping stack.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Optional, TextIO
+
+logger = logging.getLogger("repro.obs")
+logger.addHandler(logging.NullHandler())
+
+
+def log_json(event: str, *, level: int = logging.INFO, **fields: Any) -> None:
+    """Emit ``{"event": ..., **fields}`` as one JSON line at ``level``.
+
+    Serialisation is skipped entirely when no handler wants the record,
+    so instrumented hot paths pay only an ``isEnabledFor`` check.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    payload = {"event": event}
+    payload.update(fields)
+    logger.log(level, json.dumps(payload, default=str, sort_keys=False))
+
+
+def enable_json_logging(
+    stream: Optional[TextIO] = None, level: int = logging.DEBUG
+) -> logging.Handler:
+    """Attach a plain stream handler to the ``repro.obs`` logger.
+
+    Returns the handler so callers can remove it again with
+    ``logger.removeHandler(handler)``.  Records are already JSON lines,
+    so the formatter is just the bare message.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setLevel(level)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+__all__ = ["logger", "log_json", "enable_json_logging"]

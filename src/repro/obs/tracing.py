@@ -1,0 +1,343 @@
+"""Span tracing with context propagation across the process boundary.
+
+A :class:`Tracer` produces :class:`Span` records from ``trace(name)``
+context managers.  The active span lives in a :mod:`contextvars`
+variable, so nested ``trace`` blocks build a parent→child tree and the
+*current* trace context — ``{"trace_id", "span_id"}`` — can be read at
+any point with :func:`current_trace_context`.
+
+Cross-process stitching: the cluster coordinator ships the current
+context in the optional meta field of every protocol frame
+(:mod:`repro.cluster.transport`); the worker activates it with
+:func:`activate_trace_context` around the op handler, so worker-side
+spans carry the *same* trace id with the coordinator's request span as
+parent — and ships its finished spans back in the reply meta, where the
+coordinator adopts them.  One estimate therefore yields a single span
+tree covering the coordinator and every worker process it touched.
+
+Retry stability: the context is derived from the *caller's* open span,
+so resending a request (same span still active) ships an identical
+``trace_id``/parent ``span_id`` — each attempt's worker span gets a
+fresh ``span_id`` but attaches to the same parent.
+
+Finished spans are buffered in a bounded deque (:meth:`Tracer.drain`
+empties it) and logged as JSON lines at DEBUG level through
+:mod:`repro.obs.export` — silent unless a handler is attached.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs import _state
+from repro.obs.export import log_json, logger
+
+#: (trace_id, span_id) of the innermost open span, per execution context.
+#: Ids are raw 64-bit ints here — hex formatting is deferred to the
+#: export boundary (``current_trace_context``, ``Span`` materialisation)
+#: because an f-string per id is measurable on per-event hot paths.
+_current: ContextVar[Optional[Tuple[int, int]]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+# Span ids come from a private PRNG seeded with os.urandom once per
+# process — independent of every estimator RNG stream, and far cheaper
+# than a urandom syscall per span.  The seeding pid is remembered so a
+# fork (spawned worker processes, forking servers) reseeds instead of
+# letting parent and child emit identical id sequences.
+_id_rng = random.Random(os.urandom(16))
+_id_pid = os.getpid()
+_ID_MASK = (1 << 64) - 1
+
+
+def _new_id() -> int:
+    """A fresh 64-bit id (independent of every estimator RNG stream)."""
+    global _id_rng, _id_pid
+    pid = os.getpid()
+    if pid != _id_pid:
+        _id_rng = random.Random(os.urandom(16))
+        _id_pid = pid
+    return _id_rng.getrandbits(64)
+
+
+def _new_trace_ids() -> Tuple[int, int]:
+    """A fresh (trace_id, span_id) pair from one 128-bit PRNG draw."""
+    global _id_rng, _id_pid
+    pid = os.getpid()
+    if pid != _id_pid:
+        _id_rng = random.Random(os.urandom(16))
+        _id_pid = pid
+    both = _id_rng.getrandbits(128)
+    return both >> 64, both & _ID_MASK
+
+
+def _hex(identifier: int) -> str:
+    return f"{identifier:016x}"
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start_time: float = 0.0  # epoch seconds
+    duration: Optional[float] = None  # seconds; None while open
+    pid: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "pid": self.pid,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            name=payload["name"],
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start_time=float(payload.get("start_time", 0.0)),
+            duration=payload.get("duration"),
+            pid=int(payload.get("pid", 0)),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class _NullSpan:
+    """The disabled-mode context manager: one shared, stateless instance."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Hand-rolled span context manager and lightweight span record.
+
+    A slotted class instead of ``@contextmanager`` + an eager
+    :class:`Span`: no generator object, no frame suspension, no
+    dataclass construction, no hex formatting — the record itself is
+    appended to the tracer's buffer and only turned into a full
+    :class:`Span` (with hex ids) when someone actually reads it via
+    :meth:`Tracer.drain` / :meth:`Tracer.spans`.  Together this keeps
+    the per-span cost within the ≤ 3 % overhead budget gated by
+    ``benchmarks/bench_obs.py``.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "_trace_id", "_span_id", "_parent_id",
+        "start_time", "duration", "pid", "attributes", "_token", "_started",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self._trace_id = trace_id
+        self._span_id = span_id
+        self._parent_id = parent_id
+        self.pid = _id_pid  # _new_id()/_new_trace_ids() just refreshed it
+        self.attributes = attributes
+        self.duration: Optional[float] = None
+
+    # hex views, for callers that hold the span object directly
+    @property
+    def trace_id(self) -> str:
+        return _hex(self._trace_id)
+
+    @property
+    def span_id(self) -> str:
+        return _hex(self._span_id)
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return None if self._parent_id is None else _hex(self._parent_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def _materialize(self) -> Span:
+        return Span(
+            name=self.name,
+            trace_id=_hex(self._trace_id),
+            span_id=_hex(self._span_id),
+            parent_id=None if self._parent_id is None else _hex(self._parent_id),
+            start_time=self.start_time,
+            duration=self.duration,
+            pid=self.pid,
+            attributes=self.attributes,
+        )
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._token = _current.set((self._trace_id, self._span_id))
+        self.start_time = time.time()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._started
+        _current.reset(self._token)
+        self._tracer._finished.append(self)
+        # DEBUG-level span lines; the isEnabledFor check keeps the
+        # materialisation off the hot path when nobody listens
+        if logger.isEnabledFor(logging.DEBUG):
+            log_json("span", level=logging.DEBUG, **self._materialize().to_dict())
+        return False
+
+
+class Tracer:
+    """Creates spans and buffers the finished ones (bounded)."""
+
+    def __init__(self, *, max_spans: int = 4096):
+        self._finished: deque = deque(maxlen=int(max_spans))
+
+    # ------------------------------------------------------------------
+    def trace(self, name: str, **attributes: Any):
+        """Open a span named ``name``; ``with`` yields it (``None`` when
+        disabled).
+
+        Nested calls chain ``parent_id`` automatically; the outermost
+        span starts a fresh trace unless a remote context was activated
+        with :func:`activate_trace_context`.
+        """
+        if not _state.enabled:
+            return _NULL_SPAN
+        parent = _current.get()
+        if parent is None:
+            trace_id, span_id = _new_trace_ids()
+            parent_id = None
+        else:
+            trace_id = parent[0]
+            span_id = _new_id()
+            parent_id = parent[1]
+        # **attributes is already a fresh dict owned by this call
+        return _ActiveSpan(self, name, trace_id, span_id, parent_id, attributes)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def spans(self) -> List[Span]:
+        """The buffered finished spans (oldest first), without draining."""
+        return [
+            entry if isinstance(entry, Span) else entry._materialize()
+            for entry in self._finished
+        ]
+
+    def drain(self) -> List[Span]:
+        """Remove and return every buffered finished span."""
+        spans = self.spans()
+        self._finished.clear()
+        return spans
+
+    def adopt(self, spans: Iterable[Union[Span, Mapping[str, Any]]]) -> None:
+        """Append remotely produced spans (dicts or Span objects) to the buffer."""
+        for span in spans:
+            self._finished.append(
+                span if isinstance(span, Span) else Span.from_dict(span)
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Tracer(buffered={len(self._finished)})"
+
+
+# ----------------------------------------------------------------------
+# context propagation
+# ----------------------------------------------------------------------
+def current_trace_context() -> Optional[Dict[str, str]]:
+    """The active span's ids as a wire-safe dict, or ``None`` outside spans."""
+    current = _current.get()
+    if current is None:
+        return None
+    return {"trace_id": _hex(current[0]), "span_id": _hex(current[1])}
+
+
+@contextmanager
+def activate_trace_context(context: Optional[Mapping[str, str]]):
+    """Adopt a remote trace context for the duration of the block.
+
+    Spans opened inside join the remote trace (same ``trace_id``, the
+    remote span as parent).  ``None`` deactivates any local context, so
+    the block traces into a fresh tree.
+    """
+    if context is None:
+        token = _current.set(None)
+    else:
+        token = _current.set(
+            (int(str(context["trace_id"]), 16), int(str(context["span_id"]), 16))
+        )
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+# ----------------------------------------------------------------------
+# the process-global tracer
+# ----------------------------------------------------------------------
+_global_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every library layer records into."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-global tracer; returns the previous one."""
+    global _global_tracer
+    previous = _global_tracer
+    _global_tracer = tracer
+    return previous
+
+
+def trace(name: str, **attributes: Any):
+    """``get_tracer().trace(...)`` — the library's one-line span spelling."""
+    return _global_tracer.trace(name, **attributes)
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "trace",
+    "get_tracer",
+    "set_tracer",
+    "current_trace_context",
+    "activate_trace_context",
+]

@@ -31,6 +31,7 @@ paths:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Optional, Tuple
@@ -46,6 +47,8 @@ from repro.core.lsh_ss import (
     sample_stratum_l,
 )
 from repro.errors import ValidationError
+from repro.obs.metrics import get_global_registry
+from repro.obs.tracing import trace
 from repro.rng import RandomState, ensure_rng
 from repro.shard.sharded_index import ShardedMutableIndex
 
@@ -117,6 +120,7 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
         router=None,
+        metrics=None,
     ):
         for name, value in (
             ("sample_size_h (m_H)", sample_size_h),
@@ -134,6 +138,9 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         self.sample_size_l = sample_size_l
         self.answer_threshold = answer_threshold
         self.dampening: Dampening = dampening
+        registry = metrics if metrics is not None else get_global_registry()
+        self._estimate_seconds = registry.histogram("merged_estimate_seconds")
+        self._estimates_total = registry.counter("merged_estimates_total")
 
     @property
     def total_pairs(self) -> int:
@@ -239,6 +246,18 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         return self._estimate_with_mode(threshold, mode, random_state=random_state)
 
     def _estimate_with_mode(
+        self, threshold: float, mode: str, *, random_state: RandomState = None
+    ) -> Estimate:
+        started = time.perf_counter()
+        with trace("merge.estimate", mode=mode, threshold=threshold):
+            estimate = self._estimate_with_mode_inner(
+                threshold, mode, random_state=random_state
+            )
+        self._estimate_seconds.observe(time.perf_counter() - started)
+        self._estimates_total.inc()
+        return estimate
+
+    def _estimate_with_mode_inner(
         self, threshold: float, mode: str, *, random_state: RandomState = None
     ) -> Estimate:
         if self.router is not None:

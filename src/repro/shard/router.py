@@ -25,12 +25,15 @@ same merged estimates — as an unsharded index fed the same log.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 from scipy import sparse
 
 from repro.errors import StrandedWritesError, ValidationError
+from repro.obs.metrics import MetricsRegistry, get_global_registry
+from repro.obs.tracing import trace
 from repro.rng import RandomState, ensure_rng
 from repro.shard.sharded_index import ShardedMutableIndex
 from repro.streaming.events import ChangeLog, Checkpoint, Delete, Insert
@@ -46,11 +49,18 @@ class ShardRouter:
         *,
         batch_size: int = 256,
         max_workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         self.index = index
         self.batch_size = int(batch_size)
+        registry = metrics if metrics is not None else get_global_registry()
+        # handles cached here: flush-path instrumentation never touches
+        # the registry lock
+        self._flush_seconds = registry.histogram("router_flush_seconds")
+        self._flushed_rows = registry.counter("router_flushed_rows_total")
+        self._routed_events = registry.counter("router_events_total")
         workers = index.num_shards if max_workers is None else int(max_workers)
         if workers < 0:
             raise ValidationError(f"max_workers must be >= 0, got {workers}")
@@ -107,6 +117,7 @@ class ShardRouter:
         self.flush()
         self.index.delete(vector_id)
         self._events_routed += 1
+        self._routed_events.inc()
 
     def flush(self) -> int:
         """Hash, partition, and ingest the buffered inserts; returns the count.
@@ -132,13 +143,18 @@ class ShardRouter:
         else:
             stacked = sparse.vstack(self._pending_rows, format="csr")
         count = len(self._pending_rows)
-        # buffered rows are coerce_row output: canonical by construction
-        batch = self.index.prepare_batch(stacked, coerced=True)
-        try:
-            self.index.commit_batch(batch, executor=self._executor)
-        except BaseException:
-            self._commit_failed = True
-            raise
+        started = time.perf_counter()
+        with trace("router.flush", rows=count):
+            # buffered rows are coerce_row output: canonical by construction
+            batch = self.index.prepare_batch(stacked, coerced=True)
+            try:
+                self.index.commit_batch(batch, executor=self._executor)
+            except BaseException:
+                self._commit_failed = True
+                raise
+        self._flush_seconds.observe(time.perf_counter() - started)
+        self._flushed_rows.inc(count)
+        self._routed_events.inc(count)
         self._pending_rows = []
         self._events_routed += count
         return count

@@ -33,6 +33,7 @@ any bucket at query time.
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
@@ -42,6 +43,8 @@ from scipy import sparse
 
 from repro.errors import InsufficientSampleError, ValidationError
 from repro.lsh.families import LSHFamily
+from repro.obs.metrics import MetricsRegistry, get_global_registry
+from repro.obs.tracing import trace
 from repro.lsh.index import resolve_family
 from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
 from repro.rng import RandomState, ensure_rng, spawn
@@ -247,6 +250,33 @@ class ShardedMutableIndex:
         #: partitioner's pick (manual migrations, mid-rebalance snapshots);
         #: keeps owner re-checks off the hot ingest path otherwise
         self._owner_overrides = False
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this cluster records into (global unless injected).
+
+        Lazy ``getattr`` because :class:`ClusterCoordinator` wires its
+        plumbing *before* this ``__init__`` runs and ``from_state``
+        builds instances via ``__new__``.
+        """
+        registry = getattr(self, "_metrics", None)
+        return registry if registry is not None else get_global_registry()
+
+    @metrics.setter
+    def metrics(self, registry: Optional[MetricsRegistry]) -> None:
+        self._metrics = registry
+
+    def _commit_instruments(self):
+        cached = getattr(self, "_commit_metric_handles", None)
+        if cached is None:
+            cached = self._commit_metric_handles = (
+                self.metrics.histogram("commit_batch_seconds"),
+                self.metrics.counter("commit_rows_total"),
+            )
+        return cached
 
     # ------------------------------------------------------------------
     @classmethod
@@ -514,6 +544,15 @@ class ShardedMutableIndex:
         grouping; facade observers are notified once the whole batch is
         live (per-event granularity needs the unbatched :meth:`insert`).
         """
+        histogram, rows_total = self._commit_instruments()
+        started = time.perf_counter()
+        with trace("shard.commit_batch", rows=len(batch)):
+            result = self._commit_batch_inner(batch, executor=executor)
+        histogram.observe(time.perf_counter() - started)
+        rows_total.inc(len(batch))
+        return result
+
+    def _commit_batch_inner(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
         jobs = []
         for shard in self.shards:
             rows = np.flatnonzero(batch.shard_ids == shard.shard_id)

@@ -402,7 +402,9 @@ class TestShardWorkerOps:
         rows = np.eye(6)[:4] + 0.1
         reply = self._insert(worker, rows)
         assert reply["size"] == 4
-        assert reply["seconds"] >= 0.0
+        # timing moved out of op payloads into the reply meta envelope
+        # (serve_connection stamps meta["seconds"]); payloads stay data-only
+        assert "seconds" not in reply
         assert reply["num_collision_pairs"] == worker.index.num_collision_pairs
         expected_key = worker.index.primary_table.signature_key(2)
         deleted = worker.handle("delete", {"vector_id": 2})
@@ -494,12 +496,13 @@ class TestTransportFraming:
         left, right = socket_module.socketpair()
         try:
             send_message(left, "ping", {"value": np.arange(3)})
-            op, payload = recv_message(right)
+            op, payload, meta = recv_message(right)
             assert op == "ping"
+            assert meta == {}
             np.testing.assert_array_equal(payload["value"], np.arange(3))
             conn = Connection(left, timeout=5.0)
             conn.send("ok", {"x": 1})
-            assert recv_message(right) == ("ok", {"x": 1})
+            assert recv_message(right) == ("ok", {"x": 1}, {})
             conn.close()
             conn.close()  # idempotent
         finally:
