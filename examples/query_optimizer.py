@@ -1,4 +1,4 @@
-"""Query-optimiser scenario: choosing a join plan from size estimates.
+"""Query-optimiser scenario: a planner asking a live estimation service.
 
 The paper motivates VSJ size estimation with query optimisation: a
 similarity join is a primitive operator, and the optimiser needs its
@@ -16,11 +16,17 @@ The optimiser must decide whether to
   (plan B) scan the author table first and verify similarity per probe.
 
 Plan A's cost is dominated by the similarity-join output size; plan B's
-cost is essentially fixed.  The example estimates the join size with
-LSH-SS at several thresholds and shows which plan would be chosen, then
-compares against the decision an oracle (exact join size) would make —
-including how badly a naive random-sampling estimate can mislead the
-optimiser at high thresholds.
+cost is essentially fixed.
+
+Since PR 7 the estimates come from a *service*, the way a real planner
+would get them: the example starts an in-process
+:class:`repro.EstimationServer` (the same daemon ``repro serve`` runs),
+ingests the corpus through a :class:`repro.ServeClient`, then asks for
+one estimate per threshold over the wire — seeded, so the answers are
+reproducible no matter how many other clients the daemon is serving.
+The oracle (exact join size) and a naive random-sampling estimate are
+computed locally for comparison, showing how badly a wrong cardinality
+at a high threshold can mislead the optimiser.
 
 Run with:  python examples/query_optimizer.py
 """
@@ -30,9 +36,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import (
-    LSHIndex,
-    LSHSSEstimator,
+    EngineConfig,
+    EstimationServer,
     RandomPairSampling,
+    ServeClient,
     SimilarityHistogram,
     make_dblp_like,
 )
@@ -60,33 +67,49 @@ def choose_plan(estimated_join_size: float, threshold: float) -> PlanChoice:
 
 
 def main() -> None:
-    print("Building corpus and LSH index...")
+    print("Building the corpus...")
     corpus = make_dblp_like(num_vectors=2500, random_state=11)
     collection = corpus.collection
-    index = LSHIndex(collection, num_hashes=20, random_state=5)
-    lsh_ss = LSHSSEstimator(index.primary_table)
     random_sampling = RandomPairSampling(collection)
 
-    print("Computing the exact join sizes once (the oracle the optimiser never has)...")
-    oracle = SimilarityHistogram(collection)
+    print("Starting the estimation service and ingesting the corpus...")
+    config = EngineConfig(
+        backend="static", num_hashes=20, seed=4, dimension=collection.dimension
+    )
+    with EstimationServer(config) as server:
+        with ServeClient(server.address) as client:
+            client.ingest(collection)
 
-    print(f"\n{'tau':>5} {'oracle J':>12} {'LSH-SS est.':>12} {'RS est.':>12} "
-          f"{'LSH-SS plan':>28} {'oracle plan':>28} {'RS plan':>28}")
-    mismatches_rs = 0
-    mismatches_lsh = 0
-    for threshold in (0.3, 0.5, 0.7, 0.8, 0.9):
-        true_size = oracle.join_size(threshold)
-        lsh_estimate = lsh_ss.estimate(threshold, random_state=1).value
-        rs_estimate = random_sampling.estimate(threshold, random_state=1).value
+            print("Computing the exact join sizes once "
+                  "(the oracle the optimiser never has)...")
+            oracle = SimilarityHistogram(collection)
 
-        oracle_plan = choose_plan(true_size, threshold)
-        lsh_plan = choose_plan(lsh_estimate, threshold)
-        rs_plan = choose_plan(rs_estimate, threshold)
-        mismatches_lsh += lsh_plan.plan != oracle_plan.plan
-        mismatches_rs += rs_plan.plan != oracle_plan.plan
+            print(f"\n{'tau':>5} {'oracle J':>12} {'LSH-SS est.':>12} {'RS est.':>12} "
+                  f"{'LSH-SS plan':>28} {'oracle plan':>28} {'RS plan':>28}")
+            mismatches_rs = 0
+            mismatches_lsh = 0
+            for threshold in (0.3, 0.5, 0.7, 0.8, 0.9):
+                true_size = oracle.join_size(threshold)
+                # one estimate per plan decision, over the wire; the seed
+                # rides in the request so the answer is reproducible even
+                # with other clients hammering the daemon concurrently
+                result = client.estimate(threshold, seed=1)
+                lsh_estimate = result.value
+                rs_estimate = random_sampling.estimate(threshold, random_state=1).value
 
-        print(f"{threshold:>5.1f} {true_size:>12,} {lsh_estimate:>12,.0f} {rs_estimate:>12,.0f} "
-              f"{lsh_plan.plan:>28} {oracle_plan.plan:>28} {rs_plan.plan:>28}")
+                oracle_plan = choose_plan(true_size, threshold)
+                lsh_plan = choose_plan(lsh_estimate, threshold)
+                rs_plan = choose_plan(rs_estimate, threshold)
+                mismatches_lsh += lsh_plan.plan != oracle_plan.plan
+                mismatches_rs += rs_plan.plan != oracle_plan.plan
+
+                print(f"{threshold:>5.1f} {true_size:>12,} {lsh_estimate:>12,.0f} "
+                      f"{rs_estimate:>12,.0f} {lsh_plan.plan:>28} "
+                      f"{oracle_plan.plan:>28} {rs_plan.plan:>28}")
+
+            stats = client.stats()["server"]
+            print(f"\nService: epoch {stats['epoch']}, "
+                  f"{stats['connections']} connection(s), pid {stats['pid']}")
 
     print(f"\nPlan decisions differing from the oracle: "
           f"LSH-SS {mismatches_lsh}/5, RS(pop) {mismatches_rs}/5")

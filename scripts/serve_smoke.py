@@ -1,0 +1,198 @@
+"""CI smoke check for the ``repro serve`` daemon.
+
+Proves the serving contract end to end through the real CLI entry
+point, under load, inside hard deadlines:
+
+1. start ``repro serve`` as a subprocess on an ephemeral port and parse
+   the readiness line;
+2. hammer it with a mixed burst — one writer thread ingesting change
+   batches while several reader threads estimate concurrently (each
+   over its own connection, retrying ``busy`` rejections);
+3. assert the answers are **bit-identical** to a direct in-process
+   engine fed the same seeds and the same event sequence;
+4. send SIGTERM and assert a clean drain: exit code 0 and the
+   "drained cleanly" line (every acknowledged write was committed).
+
+Run from the repository root:  python scripts/serve_smoke.py
+Exits 0 on success, 1 on any failed check (with a diagnostic on
+stderr).  The whole script is bounded by a SIGALRM deadline so a hung
+daemon fails the CI step instead of stalling it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import EngineConfig, EstimateRequest, JoinEstimationEngine  # noqa: E402
+from repro.serve import ServeClient, connect_with_retry  # noqa: E402
+from repro.streaming import Insert  # noqa: E402
+
+HARD_DEADLINE_SECONDS = 300
+DIMENSION = 24
+NUM_HASHES = 12
+SEED = 71
+THRESHOLD = 0.7
+READERS = 4
+READS_PER_READER = 30
+WRITE_BATCHES = 12
+EVENTS_PER_BATCH = 20
+IDENTITY_SEEDS = range(6)
+
+CONFIG = {
+    "backend": "streaming",
+    "num_hashes": NUM_HASHES,
+    "seed": SEED,
+    "dimension": DIMENSION,
+}
+
+
+def _fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _events(count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    rows = (rng.random((count, DIMENSION)) < 0.4) * rng.random((count, DIMENSION))
+    rows[rows.sum(axis=1) == 0.0, 0] = 1.0
+    return [Insert(row) for row in rows]
+
+
+def main() -> None:
+    signal.signal(
+        signal.SIGALRM,
+        lambda *_: _fail(f"hard {HARD_DEADLINE_SECONDS}s deadline exceeded"),
+    )
+    signal.alarm(HARD_DEADLINE_SECONDS)
+
+    batches = [
+        _events(EVENTS_PER_BATCH, seed=SEED + 1 + batch)
+        for batch in range(WRITE_BATCHES)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        config_path = Path(tmp) / "engine.json"
+        config_path.write_text(json.dumps(CONFIG))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        print("serve-smoke: starting the daemon...")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--config", str(config_path), "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.match(r"serving on ([\d.]+):(\d+)", line)
+            if not match:
+                _fail(f"no readiness line from the daemon, got {line!r}")
+            address = (match.group(1), int(match.group(2)))
+            print(f"serve-smoke: daemon ready on {address[0]}:{address[1]} "
+                  f"pid={proc.pid}")
+
+            # --- phase 2: mixed ingest + estimate burst ----------------
+            errors: list = []
+            estimates_done = [0]
+
+            def writer() -> None:
+                try:
+                    with connect_with_retry(address) as client:
+                        for batch in batches:
+                            client.ingest(batch)
+                except Exception as error:  # noqa: BLE001 - checked below
+                    errors.append(error)
+
+            def reader(offset: int) -> None:
+                try:
+                    with connect_with_retry(address) as client:
+                        for call in range(READS_PER_READER):
+                            result = client.estimate(
+                                THRESHOLD,
+                                seed=offset * READS_PER_READER + call,
+                                mode="auto",
+                            )
+                            if result.value < 0:
+                                raise AssertionError(
+                                    f"negative estimate {result.value}"
+                                )
+                            estimates_done[0] += 1
+                except Exception as error:  # noqa: BLE001 - checked below
+                    errors.append(error)
+
+            started = time.perf_counter()
+            threads = [threading.Thread(target=writer)]
+            threads += [
+                threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            if errors:
+                _fail(f"burst worker raised: {errors[0]!r}")
+            print(f"serve-smoke: burst ok — {estimates_done[0]} estimates + "
+                  f"{WRITE_BATCHES} write batches in {elapsed:.1f}s")
+
+            # --- phase 3: bit-identity vs a direct engine --------------
+            direct = JoinEstimationEngine(EngineConfig(**CONFIG)).open()
+            for batch in batches:
+                direct.ingest(batch)
+            direct.flush()
+            with ServeClient(address) as client:
+                client.flush()
+                size = client.describe()["describe"]["size"]
+                if size != WRITE_BATCHES * EVENTS_PER_BATCH:
+                    _fail(f"daemon holds {size} rows, expected "
+                          f"{WRITE_BATCHES * EVENTS_PER_BATCH}")
+                for seed in IDENTITY_SEEDS:
+                    served = client.estimate(THRESHOLD, seed=seed, mode="exact").value
+                    expected = direct.estimate(
+                        EstimateRequest(THRESHOLD, seed=seed, mode="exact")
+                    ).value
+                    if served != expected:
+                        _fail(f"seed {seed}: served {served!r} != direct "
+                              f"{expected!r} — the serve boundary changed "
+                              "the estimate bits")
+            direct.close()
+            print(f"serve-smoke: bit-identity ok over "
+                  f"{len(list(IDENTITY_SEEDS))} seeds")
+
+            # --- phase 4: SIGTERM → clean drain ------------------------
+            proc.send_signal(signal.SIGTERM)
+            try:
+                out, _ = proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                _fail("daemon did not exit within 60s of SIGTERM")
+            if proc.returncode != 0:
+                _fail(f"daemon exited {proc.returncode} after SIGTERM; "
+                      f"output:\n{out}")
+            if "drained cleanly" not in out:
+                _fail(f"no clean-drain confirmation in daemon output:\n{out}")
+            print("serve-smoke: SIGTERM drain ok (exit 0, every acknowledged "
+                  "write committed)")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+    print("serve-smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -122,6 +122,13 @@ from repro.engine import (
     register_backend,
 )
 from repro.cluster import ClusterCoordinator, ProcessBackend
+from repro.serve import (
+    EstimationServer,
+    GenerationManager,
+    ServeClient,
+    connect_with_retry,
+)
+from repro.errors import ServeError, ServerBusyError, StrandedWritesError
 from repro.obs import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -228,6 +235,14 @@ __all__ = [
     # multi-process cluster
     "ClusterCoordinator",
     "ProcessBackend",
+    # serving
+    "EstimationServer",
+    "GenerationManager",
+    "ServeClient",
+    "connect_with_retry",
+    "ServeError",
+    "ServerBusyError",
+    "StrandedWritesError",
     # observability
     "MetricsRegistry",
     "MetricsSnapshot",

@@ -54,6 +54,13 @@ Sub-commands
     ``--threshold``), and print the :mod:`repro.obs` stats surface:
     counters, latency histograms, and — for the ``process`` backend —
     per-worker rows gathered in one batched round trip.
+``serve``
+    Run the estimation daemon (:mod:`repro.serve`): listen on
+    ``--listen host:port``, serve concurrent estimate requests while a
+    single writer ingests, with copy-on-write epoch handoff, bounded
+    queues, and graceful drain on SIGTERM/SIGINT.  Talk to it with
+    :class:`repro.serve.ServeClient` (see
+    ``examples/query_optimizer.py``).
 """
 
 from __future__ import annotations
@@ -249,6 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="dump the full stats dict as JSON instead of the "
                             "human-readable summary")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the concurrent estimation daemon (repro.serve)",
+    )
+    serve.add_argument("--config", required=True,
+                       help="JSON EngineConfig file describing the engine the "
+                            "daemon wraps (any backend, including 'process')")
+    serve.add_argument("--listen", default="127.0.0.1:0",
+                       help="host:port to listen on; port 0 picks a free port "
+                            "(printed in the readiness line; default: "
+                            "127.0.0.1:0)")
+    serve.add_argument("--token", default=None,
+                       help="shared secret clients must present (recommended on "
+                            "anything but localhost; the protocol is pickle — "
+                            "trusted links only)")
+    serve.add_argument("--dimension", type=int, default=None,
+                       help="vector dimensionality when the config omits it")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="bound on queued-but-uncommitted write requests; a "
+                            "full queue answers busy/retry-after (default: 256)")
+    serve.add_argument("--max-estimates", type=int, default=16,
+                       help="bound on in-flight estimate requests (default: 16)")
+    serve.add_argument("--epoch-events", type=int, default=512,
+                       help="soft cap on events batched into one epoch commit "
+                            "(default: 512)")
+    serve.add_argument("--grace-timeout", type=float, default=30.0,
+                       help="writer-starvation bound: the longest the writer "
+                            "waits for a reader to release a retired "
+                            "generation (default: 30s)")
 
     worker = subparsers.add_parser(
         "worker",
@@ -688,6 +725,45 @@ def _command_stats(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _command_serve(args: argparse.Namespace) -> str:
+    import os
+    import signal
+    import threading
+
+    from repro.serve import EstimationServer
+
+    config = EngineConfig.from_file(args.config)
+    if config.dimension is None and args.dimension is not None:
+        config = config.replace(dimension=args.dimension)
+    server = EstimationServer(
+        config,
+        listen=args.listen,
+        token=args.token,
+        queue_depth=args.queue_depth,
+        max_estimates=args.max_estimates,
+        epoch_events=args.epoch_events,
+        grace_timeout=args.grace_timeout,
+    ).start()
+    stop = threading.Event()
+
+    def handle_signal(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    host, port = server.address
+    # parseable readiness line: clients / CI scripts wait for it
+    print(f"serving on {host}:{port} pid={os.getpid()} "
+          f"backend={config.backend}", flush=True)
+    stop.wait()
+    print("draining…", flush=True)
+    server.shutdown()  # StrandedWritesError (exit 2) if a commit failed
+    return (
+        f"drained cleanly at epoch {server.epoch}: no stranded writes "
+        "(every acknowledged write was committed)"
+    )
+
+
 def _command_worker(args: argparse.Namespace) -> str:
     from repro.cluster import parse_address, serve
 
@@ -714,6 +790,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output = _command_shard(args)
         elif args.command == "rebalance":
             output = _command_rebalance(args)
+        elif args.command == "serve":
+            output = _command_serve(args)
         elif args.command == "worker":
             output = _command_worker(args)
         elif args.command == "stats":

@@ -64,7 +64,12 @@ class ProcessBackend(ShardedBackend):
     OPTIONS = ShardedBackend.OPTIONS | frozenset(
         {"shards", "addresses", "token", "request_timeout", "start_method"}
     )
-    CAPABILITIES = ShardedBackend.CAPABILITIES | frozenset({"multi-process"})
+    # no "concurrent-read": the coordinator keeps one outstanding request
+    # per worker connection, so the serving layer serialises reads that
+    # reach this backend instead of interleaving frames on its sockets
+    CAPABILITIES = (
+        ShardedBackend.CAPABILITIES | frozenset({"multi-process"})
+    ) - frozenset({"concurrent-read"})
 
     def __init__(self, config: EngineConfig):
         super().__init__(config)

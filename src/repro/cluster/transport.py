@@ -52,8 +52,12 @@ class ConnectionClosed(WorkerCrashError):
     """The peer closed (or reset) the connection mid-protocol."""
 
 
-def parse_address(address: str) -> Tuple[str, int]:
-    """Parse ``"host:port"`` into a ``(host, port)`` pair."""
+def parse_address(address: str, *, allow_ephemeral: bool = False) -> Tuple[str, int]:
+    """Parse ``"host:port"`` into a ``(host, port)`` pair.
+
+    ``allow_ephemeral`` admits port 0 — meaningful only for *listen*
+    addresses (bind to a free port); connecting to port 0 is never valid.
+    """
     if not isinstance(address, str) or ":" not in address:
         raise ValidationError(
             f"worker address must look like 'host:port', got {address!r}"
@@ -65,7 +69,7 @@ def parse_address(address: str) -> Tuple[str, int]:
         raise ValidationError(
             f"worker address must end in an integer port, got {address!r}"
         ) from None
-    if not host or not 0 < port < 65536:
+    if not host or not (0 if allow_ephemeral else 1) <= port < 65536:
         raise ValidationError(f"invalid worker address {address!r}")
     return host, port
 

@@ -160,6 +160,29 @@ class EstimatorBackend(abc.ABC):
     def flush(self) -> None:
         """Make buffered writes visible (no-op for unbuffered backends)."""
 
+    def quiesce(self) -> None:
+        """Run deferred maintenance so subsequent estimates are read-only.
+
+        The serving layer calls this at epoch-commit time — after
+        :meth:`flush`, before publishing a generation to concurrent
+        readers — so that ``auto``-mode estimates against the published
+        generation neither mutate estimator state nor consume the
+        maintenance rng.  The default is a no-op; backends whose
+        estimates perform lazy maintenance override it.
+        """
+
+    def drain_pending(self) -> list:
+        """Recover buffered-but-unapplied write payloads without applying them.
+
+        Returns the drained payloads (1×d CSR rows for sharded
+        backends, in arrival order) and clears the buffer, so a close
+        after a mid-commit failure can surface
+        :class:`~repro.errors.StrandedWritesError` carrying the
+        recoverable rows instead of losing them behind process exit.
+        Unbuffered backends return an empty list.
+        """
+        return []
+
     # -- ingest --------------------------------------------------------
     @abc.abstractmethod
     def ingest_collection(self, collection: VectorCollection) -> int:
@@ -266,7 +289,7 @@ class StaticBackend(EstimatorBackend):
     """
 
     OPTIONS = frozenset({"estimator", "estimator_kwargs"})
-    CAPABILITIES = frozenset({"multi-estimator"})
+    CAPABILITIES = frozenset({"multi-estimator", "concurrent-read"})
 
     #: request/estimator-name → builder(table, collection, **kwargs); the
     #: single registry of servable flavors (the CLI derives its choices
@@ -305,6 +328,12 @@ class StaticBackend(EstimatorBackend):
     def _invalidate(self) -> None:
         self._index = None
         self._estimators = {}
+
+    def quiesce(self) -> None:
+        # materialise the lazily built index now so concurrent readers
+        # never race the (expensive, deterministic) first build
+        if self._blocks:
+            self._built_index()
 
     def ingest_collection(self, collection: VectorCollection) -> int:
         if self._dimension is None:
@@ -440,7 +469,7 @@ class StreamingBackend(EstimatorBackend):
             "dampening",
         }
     )
-    CAPABILITIES = frozenset({"mutable"})
+    CAPABILITIES = frozenset({"mutable", "concurrent-read"})
 
     def open(self) -> None:
         if self.config.dimension is None:
@@ -463,6 +492,11 @@ class StreamingBackend(EstimatorBackend):
 
     def close(self) -> None:
         self._estimator.close()
+
+    def quiesce(self) -> None:
+        # run the staleness-budgeted repair now, at a known-quiescent
+        # point, so auto-mode estimates stop triggering it lazily
+        self._estimator.repair()
 
     def ingest_collection(self, collection: VectorCollection) -> int:
         self._index.insert_many(collection.matrix)
@@ -573,7 +607,10 @@ class ShardedBackend(EstimatorBackend):
             "dampening",
         }
     )
-    CAPABILITIES = frozenset({"mutable", "rebalance"})
+    # "concurrent-read": estimates/describes after a flush+quiesce are
+    # read-only and touch no shared mutable state, so the serving layer
+    # may run them from many threads without a lock (see repro.serve)
+    CAPABILITIES = frozenset({"mutable", "rebalance", "concurrent-read"})
 
     _MERGE_KEYS = ("sample_size_h", "sample_size_l", "answer_threshold", "dampening")
 
@@ -616,6 +653,9 @@ class ShardedBackend(EstimatorBackend):
 
     def flush(self) -> None:
         self._router.flush()
+
+    def drain_pending(self) -> list:
+        return self._router.drain_pending()
 
     def ingest_collection(self, collection: VectorCollection) -> int:
         self._router.flush()  # keep id assignment in ingest order

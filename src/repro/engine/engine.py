@@ -121,6 +121,17 @@ class Provenance:
             "metrics": dict(self.metrics),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Provenance":
+        return cls(
+            backend=payload["backend"],
+            seed=payload["seed"],
+            mode=payload["mode"],
+            wall_time_seconds=payload["wall_time_seconds"],
+            backend_details=dict(payload.get("backend_details", {})),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
 
 @dataclass(frozen=True)
 class EstimateResult:
@@ -149,6 +160,17 @@ class EstimateResult:
             "details": dict(self.details),
             "provenance": self.provenance.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EstimateResult":
+        """Rebuild a result from :meth:`to_dict` output (the serve wire)."""
+        return cls(
+            value=payload["value"],
+            estimator=payload["estimator"],
+            threshold=payload["threshold"],
+            details=dict(payload.get("details", {})),
+            provenance=Provenance.from_dict(payload["provenance"]),
+        )
 
 
 class JoinEstimationEngine:
@@ -280,6 +302,24 @@ class JoinEstimationEngine:
     def flush(self) -> None:
         """Make buffered writes visible (no-op for unbuffered backends)."""
         self.backend.flush()
+
+    def quiesce(self) -> None:
+        """Run deferred backend maintenance so estimates are read-only.
+
+        The serving layer calls this after :meth:`flush` at epoch-commit
+        time, before publishing the engine to concurrent readers; see
+        :meth:`EstimatorBackend.quiesce`.
+        """
+        self.backend.quiesce()
+
+    def drain_pending(self) -> list:
+        """Recover buffered-but-unapplied write payloads; see backend docs.
+
+        Used by shutdown paths that must not lose writes behind a failed
+        commit: drain first, close quietly, surface the rows in a
+        :class:`~repro.errors.StrandedWritesError`.
+        """
+        return self.backend.drain_pending()
 
     # ------------------------------------------------------------------
     # estimation

@@ -68,6 +68,30 @@ class StrandedWritesError(ReproError):
         self.pending_rows = list(pending_rows)
 
 
+class ServeError(ReproError):
+    """Raised for failures of the estimation server (repro.serve).
+
+    Covers a server left unusable by an earlier commit failure, writer
+    breakdown, and lifecycle misuse (requests after shutdown began).
+    """
+
+
+class ServerBusyError(ServeError):
+    """Raised when the server rejects a request under backpressure.
+
+    The server bounds its write queue and its in-flight estimate pool;
+    rather than buffering without limit it answers ``busy`` with a
+    retry hint.  The client raises this once its retry budget is
+    exhausted, with the server's most recent hint in
+    :attr:`retry_after` (seconds).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        #: server-suggested delay in seconds before retrying
+        self.retry_after = float(retry_after)
+
+
 class ClusterError(ReproError):
     """Raised for failures of the multi-process cluster (repro.cluster).
 

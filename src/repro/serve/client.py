@@ -1,0 +1,226 @@
+"""The serve client: a thin, blocking helper over the framed transport.
+
+:class:`ServeClient` speaks the server's op set and hides the wire
+details — the ``hello`` handshake, the ``busy``/retry dance, trace
+propagation, and envelope reconstruction
+(:class:`~repro.engine.EstimateResult` comes back as a real object,
+provenance and all).
+
+One client drives one connection and is **not** thread-safe; concurrent
+callers each open their own (connections are cheap, and the server runs
+one handler thread per connection).  The transport is the cluster's
+pickle protocol: trusted links only, same trust model as the
+process-cluster coordinator.
+
+    with ServeClient("127.0.0.1:7071") as client:
+        client.ingest(Insert({0: 1.0, 7: 0.5}))
+        result = client.estimate(0.8, seed=42, mode="exact")
+
+Backpressure: a ``busy`` reply is retried ``retries`` times, sleeping
+the server's ``retry_after`` hint between attempts, then surfaces as
+:class:`~repro.errors.ServerBusyError`.  Pass ``retries=0`` to see
+every rejection (useful for load shedding at the caller).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.cluster.transport import (
+    PROTOCOL_VERSION,
+    Connection,
+    parse_address,
+    raise_remote_error,
+)
+from repro.engine.engine import EstimateRequest, EstimateResult
+from repro.errors import ClusterError, ServeError, ServerBusyError, ValidationError
+from repro.obs.tracing import current_trace_context, get_tracer
+from repro.streaming.events import ChangeLog, Checkpoint, Delete, Insert
+from repro.vectors import VectorCollection
+
+_EVENT_TYPES = (Insert, Delete, Checkpoint)
+
+
+class ServeClient:
+    """One blocking connection to an :class:`EstimationServer`."""
+
+    def __init__(
+        self,
+        address: Union[str, Tuple[str, int]],
+        *,
+        token: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+        retries: int = 8,
+        connect_timeout: float = 30.0,
+    ):
+        if retries < 0:
+            raise ValidationError(f"retries must be >= 0, got {retries}")
+        self.address = parse_address(address) if isinstance(address, str) else tuple(address)
+        self.retries = retries
+        sock = socket.create_connection(self.address, timeout=connect_timeout)
+        self._conn = Connection(sock, timeout=timeout)
+        hello: Dict[str, Any] = {"protocol": PROTOCOL_VERSION}
+        if token is not None:
+            hello["token"] = token
+        welcome = self._conn.request("hello", hello, context="serve hello")
+        #: the server process id and engine backend, from the handshake
+        self.server_pid: int = welcome.get("pid")
+        self.server_backend: str = welcome.get("backend")
+        #: the latest engine epoch observed in any reply
+        self.last_epoch: int = welcome.get("epoch", 0)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _request(
+        self, op: str, payload: Any = None, *, retries: Optional[int] = None
+    ) -> Any:
+        """One round trip with busy-retry and trace propagation."""
+        budget = self.retries if retries is None else retries
+        meta: Optional[Dict[str, Any]] = None
+        trace_ctx = current_trace_context()
+        if trace_ctx is not None:
+            meta = {"trace": trace_ctx}
+        attempt = 0
+        while True:
+            self._conn.send(op, payload, meta)
+            status, body, reply_meta = self._conn.recv()
+            if trace_ctx is not None and reply_meta.get("spans"):
+                get_tracer().adopt(reply_meta["spans"])
+            if status == "ok":
+                epoch = body.get("epoch") if isinstance(body, dict) else None
+                if epoch is not None:
+                    self.last_epoch = int(epoch)
+                return body
+            if status == "error":
+                raise_remote_error(body, context=f"serve op {op!r}")
+            if status == "busy":
+                retry_after = float(body.get("retry_after", 0.0))
+                if attempt < budget:
+                    attempt += 1
+                    if retry_after > 0:
+                        time.sleep(retry_after)
+                    continue
+                raise ServerBusyError(
+                    f"server rejected {op!r} ({body.get('reason', 'busy')}) "
+                    f"after {attempt + 1} attempt(s)",
+                    retry_after=retry_after,
+                )
+            raise ClusterError(f"serve op {op!r}: unexpected reply status {status!r}")
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        request: Union[EstimateRequest, float, None] = None,
+        *,
+        threshold: Optional[float] = None,
+        mode: str = "auto",
+        seed: Optional[int] = None,
+        estimator: Optional[str] = None,
+        retries: Optional[int] = None,
+    ) -> EstimateResult:
+        """Serve one estimate; same spellings as ``engine.estimate``.
+
+        The resolved per-request ``seed`` rides in the provenance, so the
+        same seed against the same epoch reproduces the value bit-for-bit
+        no matter how many clients are asking concurrently.
+        """
+        if isinstance(request, EstimateRequest):
+            req = request
+        else:
+            if request is not None:
+                if threshold is not None:
+                    raise ValidationError(
+                        "threshold given both positionally and by keyword"
+                    )
+                threshold = float(request)
+            if threshold is None:
+                raise ValidationError("an estimate needs a threshold")
+            req = EstimateRequest(threshold, mode=mode, seed=seed, estimator=estimator)
+        body = self._request("estimate", req.to_dict(), retries=retries)
+        return EstimateResult.from_dict(body["result"])
+
+    def ingest(
+        self,
+        source: Union[VectorCollection, ChangeLog, Iterable[Any], Insert, Delete, Checkpoint],
+        *,
+        retries: Optional[int] = None,
+    ) -> int:
+        """Ship events (or a collection) to the writer; returns applied count.
+
+        The ``ok`` reply arrives only after the write's epoch is
+        published — an acknowledged event is immediately visible to
+        every subsequent estimate, from any connection.
+        """
+        payload: Dict[str, Any]
+        if isinstance(source, VectorCollection):
+            payload = {"collection": source}
+        elif isinstance(source, _EVENT_TYPES):
+            payload = {"events": [source]}
+        elif isinstance(source, (ChangeLog, Iterable)):
+            payload = {"events": list(source)}
+        else:
+            raise ValidationError(
+                f"cannot ingest {type(source).__name__}; expected a "
+                "VectorCollection, a change event, or an iterable of events"
+            )
+        body = self._request("ingest", payload, retries=retries)
+        return int(body["applied"])
+
+    def flush(self, *, retries: Optional[int] = None) -> int:
+        """Write barrier: commit everything queued; returns the new epoch."""
+        body = self._request("flush", retries=retries)
+        return int(body["epoch"])
+
+    def describe(self) -> Dict[str, Any]:
+        return self._request("describe")
+
+    def stats(self) -> Dict[str, Any]:
+        """Serve-aware stats: ``{"server": {...}, "engine": {...}}``."""
+        return self._request("stats")
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request("ping")
+
+
+def connect_with_retry(
+    address: Union[str, Tuple[str, int]],
+    *,
+    token: Optional[str] = None,
+    timeout: Optional[float] = 60.0,
+    retries: int = 8,
+    deadline: float = 30.0,
+) -> ServeClient:
+    """Connect to a server that may still be binding (e.g. just spawned)."""
+    stop_at = time.monotonic() + deadline
+    delay = 0.05
+    while True:
+        try:
+            return ServeClient(address, token=token, timeout=timeout, retries=retries)
+        except OSError:
+            if time.monotonic() >= stop_at:
+                raise ServeError(
+                    f"could not connect to {address!r} within {deadline}s"
+                ) from None
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+__all__ = ["ServeClient", "connect_with_retry"]

@@ -389,6 +389,18 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         self._refill(self._reservoir_h, full=True)
         self._refill(self._reservoir_l, full=True)
 
+    def repair(self) -> None:
+        """Run the staleness-budgeted reservoir repair, if one is due.
+
+        This is the same repair ``mode="auto"`` estimates trigger
+        lazily.  Calling it at a quiescent point (e.g. after a batch of
+        updates, before handing the estimator to concurrent readers)
+        makes subsequent ``auto`` estimates read-only: the reservoirs
+        are already within budget, so the estimate path neither mutates
+        them nor consumes the maintenance rng.
+        """
+        self._repair_if_stale()
+
     @staticmethod
     def _staleness(reservoir: _PairReservoir, stratum_size: int) -> float:
         if stratum_size <= 0:
