@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run reprolint standalone."""
+
+import sys
+
+from repro.analysis import run_lint
+
+if __name__ == "__main__":
+    sys.exit(run_lint())

@@ -61,6 +61,12 @@ Sub-commands
     queues, and graceful drain on SIGTERM/SIGINT.  Talk to it with
     :class:`repro.serve.ServeClient` (see
     ``examples/query_optimizer.py``).
+``lint``
+    Run reprolint (:mod:`repro.analysis`): the repo-specific static
+    analysis enforcing the determinism, locking, and protocol contracts
+    (seed discipline, lock-guard discipline, protocol op parity,
+    exception chaining, the pickle boundary, ``__all__`` parity, broad
+    excepts).  Exit code 0 means no un-pragma'd findings.
 """
 
 from __future__ import annotations
@@ -300,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--once", action="store_true",
                         help="exit after the first coordinator session instead of "
                              "waiting for the next one")
+
+    from repro.analysis import build_lint_parser
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="repo-specific static analysis (reprolint)",
+        description="reprolint: enforce the determinism, locking, and "
+                    "protocol contracts at parse time",
+    )
+    build_lint_parser(lint)
     return parser
 
 
@@ -779,6 +795,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "lint":
+        # lint owns its exit-code semantics (1 = findings, 2 = usage)
+        from repro.analysis import run_lint_from_args
+
+        return run_lint_from_args(args)
     try:
         if args.command == "estimate":
             output = _command_estimate(args)

@@ -71,7 +71,7 @@ class ProcessBackend(ShardedBackend):
         ShardedBackend.CAPABILITIES | frozenset({"multi-process"})
     ) - frozenset({"concurrent-read"})
 
-    def __init__(self, config: EngineConfig):
+    def __init__(self, config: EngineConfig) -> None:
         super().__init__(config)
         # normalise the 'shards' alias into 'num_shards' once, up front:
         # a later rebalance syncs 'num_shards' into the config, and a
@@ -122,7 +122,7 @@ class ProcessBackend(ShardedBackend):
         )
         try:
             self._attach_serving_stack()
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - unwind the half-built cluster (reap workers) before re-raising
             self._index.close()
             raise
 
@@ -192,7 +192,7 @@ class ProcessBackend(ShardedBackend):
         )
         try:
             backend._attach_serving_stack()
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - unwind the half-restored cluster (reap workers) before re-raising
             backend._index.close()
             raise
         return backend

@@ -87,10 +87,10 @@ class WorkerHandle:
         conn: Connection,
         coordinator: "ClusterCoordinator",
         *,
-        process=None,
+        process: Any = None,
         pid: Optional[int] = None,
         address: Optional[Tuple[str, int]] = None,
-    ):
+    ) -> None:
         self.shard_id = shard_id
         self.conn = conn
         self.process = process
@@ -194,7 +194,7 @@ class WorkerHandle:
         """End the session and reap the process; never hangs, never raises."""
         if not self.conn.closed:
             if graceful and not self.broken:
-                with contextlib.suppress(Exception):
+                with contextlib.suppress(Exception):  # reprolint: disable=R007 - best-effort goodbye to a possibly-dead peer; terminate follows either way
                     self.conn.set_timeout(_SHUTDOWN_GRACE)
                     self.conn.send("shutdown")
                     self.conn.recv()
@@ -217,7 +217,7 @@ class _RemoteTableProxy:
     primary bucket key); only bucket *contents* go to the worker.
     """
 
-    def __init__(self, index: "RemoteIndexProxy"):
+    def __init__(self, index: "RemoteIndexProxy") -> None:
         self._index = index
 
     @property
@@ -262,7 +262,7 @@ class RemoteIndexProxy:
     estimate cost no round trips.
     """
 
-    def __init__(self, owner: "ClusterCoordinator", handle: WorkerHandle):
+    def __init__(self, owner: "ClusterCoordinator", handle: WorkerHandle) -> None:
         self._owner = owner
         self._handle = handle
         self._live_ids: List[int] = []
@@ -346,7 +346,7 @@ class RemoteIndexProxy:
         self._apply_stats(reply)
 
     # -- mutation -------------------------------------------------------
-    def _insert_prepared(self, vector_id, row, signatures) -> int:
+    def _insert_prepared(self, vector_id: int, row: Any, signatures: Any) -> int:
         reply = self._handle.request(
             "insert_prepared",
             {
@@ -362,7 +362,7 @@ class RemoteIndexProxy:
         self.worker_ingest_seconds += self._handle.last_op_seconds
         return int(vector_id)
 
-    def insert_many_prepared(self, ids, csr, signatures) -> np.ndarray:
+    def insert_many_prepared(self, ids: Any, csr: Any, signatures: Any) -> np.ndarray:
         reply = self._handle.request(
             "insert_prepared", {"ids": ids, "csr": csr, "signatures": list(signatures)}
         )
@@ -377,7 +377,9 @@ class RemoteIndexProxy:
         self._apply_stats(reply)
 
     # -- sampling (generator-state shipping) ---------------------------
-    def _sample_remote(self, stratum: str, sample_size: int, random_state: RandomState):
+    def _sample_remote(
+        self, stratum: str, sample_size: int, random_state: RandomState
+    ) -> Tuple[Any, Any]:
         rng = ensure_rng(random_state)
         reply = self._handle.request(
             "sample_pairs",
@@ -388,10 +390,14 @@ class RemoteIndexProxy:
         rng.bit_generator.state = reply["rng"]
         return reply["left"], reply["right"]
 
-    def sample_collision_pairs(self, sample_size: int, *, random_state: RandomState = None):
+    def sample_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[Any, Any]:
         return self._sample_remote("h", sample_size, random_state)
 
-    def sample_non_collision_pairs(self, sample_size: int, *, random_state: RandomState = None):
+    def sample_non_collision_pairs(
+        self, sample_size: int, *, random_state: RandomState = None
+    ) -> Tuple[Any, Any]:
         return self._sample_remote("l", sample_size, random_state)
 
     # -- state / verification ------------------------------------------
@@ -418,7 +424,7 @@ class RemoteIndexProxy:
 class RemoteEstimatorProxy:
     """The worker-hosted :class:`StreamingEstimator`, as seen by the merge layer."""
 
-    def __init__(self, handle: WorkerHandle):
+    def __init__(self, handle: WorkerHandle) -> None:
         self._handle = handle
         self._cached: Dict[str, Dict[str, Any]] = {}
 
@@ -432,7 +438,7 @@ class RemoteEstimatorProxy:
         # following reservoir_pairs call of the merge layer
         return bool(self._fetch(stratum)["usable"])
 
-    def reservoir_pairs(self, stratum: str):
+    def reservoir_pairs(self, stratum: str) -> Tuple[Any, Any]:
         reply = self._cached.pop(stratum, None)
         if reply is None:
             reply = self._fetch(stratum)
@@ -442,7 +448,7 @@ class RemoteEstimatorProxy:
     def account_for_migration(
         self,
         *,
-        departed_ids=(),
+        departed_ids: Sequence[int] = (),
         unseen_collision_pairs: int = 0,
         unseen_non_collision_pairs: int = 0,
     ) -> None:
@@ -490,9 +496,9 @@ class ClusterCoordinator(ShardedMutableIndex):
         num_shards: int = 4,
         num_hashes: int = 20,
         num_tables: int = 1,
-        family="cosine",
+        family: Any = "cosine",
         random_state: RandomState = None,
-        partitioner="modulo",
+        partitioner: Any = "modulo",
         shard_estimators: bool = True,
         estimator_kwargs: Optional[Dict[str, object]] = None,
         addresses: Optional[Sequence[Union[str, Tuple[str, int]]]] = None,
@@ -501,7 +507,7 @@ class ClusterCoordinator(ShardedMutableIndex):
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         start_method: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self._init_cluster_plumbing(
             addresses=addresses,
             token=token,
@@ -528,7 +534,7 @@ class ClusterCoordinator(ShardedMutableIndex):
                 shard_estimators=shard_estimators,
                 estimator_kwargs=estimator_kwargs,
             )
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - cleanup-and-reraise
             # never leak worker processes from a half-built coordinator
             self.close()
             raise
@@ -536,12 +542,12 @@ class ClusterCoordinator(ShardedMutableIndex):
     def _init_cluster_plumbing(
         self,
         *,
-        addresses,
-        token,
-        request_timeout,
-        spawn_timeout,
-        start_method,
-        metrics=None,
+        addresses: Optional[Sequence[Union[str, Tuple[str, int]]]],
+        token: Optional[str],
+        request_timeout: Optional[float],
+        spawn_timeout: float,
+        start_method: Optional[str],
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._metrics = metrics  # resolved lazily by the `metrics` property
         #: live id → primary bucket key; answers signature_key / SampleL
@@ -606,7 +612,7 @@ class ClusterCoordinator(ShardedMutableIndex):
     def __enter__(self) -> "ClusterCoordinator":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
     @property
@@ -667,14 +673,14 @@ class ClusterCoordinator(ShardedMutableIndex):
     # ------------------------------------------------------------------
     # worker construction
     # ------------------------------------------------------------------
-    def _context(self):
+    def _context(self) -> Any:
         if self._mp_context is None:
             method = self._start_method or _default_start_method()
             context = multiprocessing.get_context(method)
             if method == "forkserver":
                 # pre-import the worker stack (numpy/scipy) once, so
                 # every later worker forks from a warm server
-                with contextlib.suppress(Exception):
+                with contextlib.suppress(Exception):  # reprolint: disable=R007 - preload is a warm-up optimisation; a cold forkserver is still correct
                     context.set_forkserver_preload(["repro.cluster.worker"])
             self._mp_context = context
         return self._mp_context
@@ -724,7 +730,7 @@ class ClusterCoordinator(ShardedMutableIndex):
                     f"expected {shard_id}"
                 )
             conn.send("ok", {"protocol": PROTOCOL_VERSION})
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - never leak the spawned process on a failed handshake
             conn.close()
             process.terminate()
             raise
@@ -754,7 +760,7 @@ class ClusterCoordinator(ShardedMutableIndex):
                 {"protocol": PROTOCOL_VERSION, "token": self._token, "shard_id": shard_id},
             )
             payload = conn.recv_reply(context=f"handshake with shard {shard_id}")
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - close the socket on a failed handshake before re-raising
             conn.close()
             raise
         return WorkerHandle(
@@ -783,7 +789,7 @@ class ClusterCoordinator(ShardedMutableIndex):
                     "estimator_rng": estimator_rng,
                 },
             )
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - reap the worker whose bootstrap failed before re-raising
             handle.stop(graceful=False)
             raise
         self._handles.append(handle)
@@ -827,7 +833,7 @@ class ClusterCoordinator(ShardedMutableIndex):
         super().delete(vector_id)  # reads the key via the table proxy first
         self._key_of_id.pop(vector_id, None)
 
-    def commit_batch(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
+    def commit_batch(self, batch: PreparedBatch, *, executor: Any = None) -> np.ndarray:
         """Apply a prepared batch with every worker ingesting in parallel.
 
         All shard slices are *sent* before any reply is awaited
@@ -968,7 +974,7 @@ class ClusterCoordinator(ShardedMutableIndex):
             }
             cluster._refresh_owner_alignment()
             restore_estimator_states(cluster, state.get("estimators", ()))
-        except BaseException:
+        except BaseException:  # reprolint: disable=R007 - unwind the half-restored cluster before re-raising
             cluster.close()
             raise
         return cluster

@@ -173,7 +173,9 @@ def describe_error(error: BaseException) -> Dict[str, Any]:
     if isinstance(error, ReproError):
         try:
             pickle.dumps(error)
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError):
+            # unpicklable payload on the exception: ship type/message/
+            # traceback only and let the peer re-raise a generic copy
             pass
         else:
             payload["exception"] = error
@@ -215,7 +217,7 @@ class Connection:
         *,
         timeout: Optional[float] = None,
         metrics: Optional[Any] = None,
-    ):
+    ) -> None:
         self._sock = sock
         sock.settimeout(timeout)
         self.last_meta: Dict[str, Any] = {}

@@ -61,7 +61,7 @@ from repro.streaming.mutable_index import MutableLSHIndex
 class ShardWorker:
     """Dispatch table + state for one shard-hosting worker process."""
 
-    def __init__(self, shard_id: Optional[int] = None):
+    def __init__(self, shard_id: Optional[int] = None) -> None:
         self.shard_id = shard_id
         self.index: Optional[MutableLSHIndex] = None
         self.estimator: Optional[StreamingEstimator] = None
@@ -98,7 +98,7 @@ class ShardWorker:
         *,
         shard_estimators: bool,
         estimator_kwargs: Dict[str, Any],
-        estimator_rng,
+        estimator_rng: Any,
         build_missing: bool,
     ) -> None:
         """Adopt a restored estimator, build a fresh one, or detach."""
@@ -282,7 +282,7 @@ def serve_connection(conn: Connection, worker: ShardWorker) -> bool:
                         result = worker.handle(op, payload)
             else:
                 result = worker.handle(op, payload)
-        except Exception as error:  # noqa: BLE001 - reported to the peer
+        except Exception as error:  # noqa: BLE001  # reprolint: disable=R007 - protocol boundary: every failure becomes an error reply to the coordinator
             status, body = "error", describe_error(error)
             if span is not None:
                 span.set_attribute("error", body["type"])
@@ -357,7 +357,7 @@ def serve(
     *,
     token: Optional[str] = None,
     once: bool = False,
-    on_ready=None,
+    on_ready: Any = None,
 ) -> None:
     """Standalone worker loop (the ``repro worker`` CLI command).
 

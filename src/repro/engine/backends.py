@@ -34,7 +34,7 @@ from __future__ import annotations
 import abc
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, ClassVar, Dict, FrozenSet, Mapping, Optional, Tuple, Type
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Type
 
 from scipy import sparse
 
@@ -51,6 +51,7 @@ from repro.engine.config import EngineConfig
 from repro.errors import UnsupportedOperationError, ValidationError
 from repro.lsh import LSHIndex
 from repro.obs.metrics import MetricsRegistry, get_global_registry
+from repro.rng import RandomState
 from repro.shard import ShardedMutableIndex, ShardedStreamingEstimator, ShardRouter
 from repro.shard.partition import resolve_partitioner
 from repro.shard.rebalance import RebalancePlan, plan_rebalance, rebalance_cluster
@@ -61,7 +62,7 @@ from repro.vectors import VectorCollection
 _REGISTRY: Dict[str, Type["EstimatorBackend"]] = {}
 
 
-def register_backend(kind: str):
+def register_backend(kind: str) -> Callable[[Type["EstimatorBackend"]], Type["EstimatorBackend"]]:
     """Class decorator registering an :class:`EstimatorBackend` under ``kind``.
 
     The kind becomes the value of ``EngineConfig.backend`` that selects
@@ -105,7 +106,7 @@ _construction_metrics: ContextVar[Optional[MetricsRegistry]] = ContextVar(
 
 
 @contextmanager
-def metrics_scope(registry: Optional[MetricsRegistry]):
+def metrics_scope(registry: Optional[MetricsRegistry]) -> Iterator[None]:
     """Backends constructed inside this block record into ``registry``.
 
     The engine wraps backend construction (both ``open`` and
@@ -139,7 +140,7 @@ class EstimatorBackend(abc.ABC):
     #: informational capability tags ("mutable", "rebalance", …)
     CAPABILITIES: ClassVar[FrozenSet[str]] = frozenset()
 
-    def __init__(self, config: EngineConfig):
+    def __init__(self, config: EngineConfig) -> None:
         self.config = config
         #: the metrics registry this backend (and the layers it builds)
         #: records into: the enclosing :func:`metrics_scope`'s registry
@@ -199,7 +200,7 @@ class EstimatorBackend(abc.ABC):
         threshold: float,
         *,
         mode: str = "auto",
-        random_state=None,
+        random_state: RandomState = None,
         estimator: Optional[str] = None,
     ) -> Estimate:
         """Serve one raw :class:`~repro.core.base.Estimate`."""
@@ -310,7 +311,7 @@ class StaticBackend(EstimatorBackend):
         return tuple(cls._ESTIMATORS)
 
     @classmethod
-    def build_estimator(cls, name: str, table, collection, **kwargs):
+    def build_estimator(cls, name: str, table: Any, collection: Any, **kwargs: Any) -> Any:
         """Construct one named estimator flavor over a table/collection."""
         if name not in cls._ESTIMATORS:
             raise ValidationError(
@@ -384,7 +385,7 @@ class StaticBackend(EstimatorBackend):
             )
         return self._index
 
-    def _estimator(self, name: Optional[str]):
+    def _estimator(self, name: Optional[str]) -> Any:
         name = name or self.config.options.get("estimator", "lsh-ss")
         if name not in self._estimators:
             index = self._built_index()
@@ -399,7 +400,7 @@ class StaticBackend(EstimatorBackend):
         threshold: float,
         *,
         mode: str = "auto",
-        random_state=None,
+        random_state: RandomState = None,
         estimator: Optional[str] = None,
     ) -> Estimate:
         if mode not in ("auto", "exact"):
@@ -518,7 +519,7 @@ class StreamingBackend(EstimatorBackend):
         threshold: float,
         *,
         mode: str = "auto",
-        random_state=None,
+        random_state: RandomState = None,
         estimator: Optional[str] = None,
     ) -> Estimate:
         if estimator is not None:
@@ -681,7 +682,7 @@ class ShardedBackend(EstimatorBackend):
         threshold: float,
         *,
         mode: str = "auto",
-        random_state=None,
+        random_state: RandomState = None,
         estimator: Optional[str] = None,
     ) -> Estimate:
         if estimator is not None:

@@ -188,7 +188,7 @@ class JoinEstimationEngine:
         config: Union[EngineConfig, Mapping[str, Any], str, Path],
         *,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self.config = EngineConfig.coerce(config)
         #: this engine's metrics registry — fresh per engine by default,
         #: so two engines in one process never mix their counters; pass
@@ -254,10 +254,10 @@ class JoinEstimationEngine:
             self.open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         try:
             self.close()
-        except Exception as close_error:
+        except Exception as close_error:  # reprolint: disable=R007 - chained into the already-propagating exception below, never swallowed
             if exc_type is None:
                 raise
             # an exception is already leaving the with-body: keep it
@@ -441,7 +441,7 @@ class JoinEstimationEngine:
         if not path.is_file():
             raise ValidationError(f"engine snapshot not found: {path}")
         with open(path, "rb") as handle:
-            state = pickle.load(handle)
+            state = pickle.load(handle)  # reprolint: disable=R005 - operator-supplied local snapshot file, same trust domain as the process
         if not isinstance(state, Mapping):
             raise ValidationError(f"{path} is not an engine or index snapshot")
         if state.get("kind") == "engine-snapshot":

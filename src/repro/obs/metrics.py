@@ -69,7 +69,7 @@ class Counter:
 
     __slots__ = ("name", "labels", "_value")
 
-    def __init__(self, name: str, labels: LabelsKey = ()):
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
@@ -91,7 +91,7 @@ class Gauge:
 
     __slots__ = ("name", "labels", "_value")
 
-    def __init__(self, name: str, labels: LabelsKey = ()):
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
         self.name = name
         self.labels = labels
         self._value = 0.0
@@ -133,7 +133,7 @@ class Histogram:
         labels: LabelsKey = (),
         *,
         buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
-    ):
+    ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValidationError("a histogram needs at least one bucket bound")
@@ -219,7 +219,7 @@ class MetricsSnapshot:
     order — property-tested in ``tests/test_obs.py``.
     """
 
-    def __init__(self, payload: Mapping[str, Any]):
+    def __init__(self, payload: Mapping[str, Any]) -> None:
         if payload.get("format") != 1:
             raise ValidationError(
                 f"unsupported metrics snapshot format {payload.get('format')!r}"
@@ -307,12 +307,14 @@ class MetricsRegistry:
     create their instruments once and keep the handle.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: Dict[Tuple[str, str, LabelsKey], Any] = {}
 
     # ------------------------------------------------------------------
-    def _get(self, kind: str, name: str, labels: Mapping[str, Any], factory):
+    def _get(
+        self, kind: str, name: str, labels: Mapping[str, Any], factory: Any
+    ) -> Any:
         key = (kind, name, _labels_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:

@@ -53,7 +53,7 @@ _current: ContextVar[Optional[Tuple[int, int]]] = ContextVar(
 # than a urandom syscall per span.  The seeding pid is remembered so a
 # fork (spawned worker processes, forking servers) reseeds instead of
 # letting parent and child emit identical id sequences.
-_id_rng = random.Random(os.urandom(16))
+_id_rng = random.Random(os.urandom(16))  # reprolint: disable=R001 - span ids must be unique across runs, not reproducible
 _id_pid = os.getpid()
 _ID_MASK = (1 << 64) - 1
 
@@ -63,7 +63,7 @@ def _new_id() -> int:
     global _id_rng, _id_pid
     pid = os.getpid()
     if pid != _id_pid:
-        _id_rng = random.Random(os.urandom(16))
+        _id_rng = random.Random(os.urandom(16))  # reprolint: disable=R001 - span ids must be unique across runs, not reproducible
         _id_pid = pid
     return _id_rng.getrandbits(64)
 
@@ -73,7 +73,7 @@ def _new_trace_ids() -> Tuple[int, int]:
     global _id_rng, _id_pid
     pid = os.getpid()
     if pid != _id_pid:
-        _id_rng = random.Random(os.urandom(16))
+        _id_rng = random.Random(os.urandom(16))  # reprolint: disable=R001 - span ids must be unique across runs, not reproducible
         _id_pid = pid
     both = _id_rng.getrandbits(128)
     return both >> 64, both & _ID_MASK
@@ -133,7 +133,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         return False
 
 
@@ -166,7 +166,7 @@ class _ActiveSpan:
         span_id: int,
         parent_id: Optional[int],
         attributes: Dict[str, Any],
-    ):
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self._trace_id = trace_id
@@ -210,7 +210,7 @@ class _ActiveSpan:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self.duration = time.perf_counter() - self._started
         _current.reset(self._token)
         self._tracer._finished.append(self)
@@ -224,11 +224,11 @@ class _ActiveSpan:
 class Tracer:
     """Creates spans and buffers the finished ones (bounded)."""
 
-    def __init__(self, *, max_spans: int = 4096):
+    def __init__(self, *, max_spans: int = 4096) -> None:
         self._finished: deque = deque(maxlen=int(max_spans))
 
     # ------------------------------------------------------------------
-    def trace(self, name: str, **attributes: Any):
+    def trace(self, name: str, **attributes: Any) -> Any:
         """Open a span named ``name``; ``with`` yields it (``None`` when
         disabled).
 
@@ -289,7 +289,7 @@ def current_trace_context() -> Optional[Dict[str, str]]:
 
 
 @contextmanager
-def activate_trace_context(context: Optional[Mapping[str, str]]):
+def activate_trace_context(context: Optional[Mapping[str, str]]) -> Any:
     """Adopt a remote trace context for the duration of the block.
 
     Spans opened inside join the remote trace (same ``trace_id``, the
@@ -327,7 +327,7 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return previous
 
 
-def trace(name: str, **attributes: Any):
+def trace(name: str, **attributes: Any) -> Any:
     """``get_tracer().trace(...)`` — the library's one-line span spelling."""
     return _global_tracer.trace(name, **attributes)
 

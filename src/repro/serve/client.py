@@ -54,7 +54,7 @@ class ServeClient:
         timeout: Optional[float] = 60.0,
         retries: int = 8,
         connect_timeout: float = 30.0,
-    ):
+    ) -> None:
         if retries < 0:
             raise ValidationError(f"retries must be >= 0, got {retries}")
         self.address = parse_address(address) if isinstance(address, str) else tuple(address)
@@ -84,7 +84,7 @@ class ServeClient:
     def __enter__(self) -> "ServeClient":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
     def _request(

@@ -91,11 +91,11 @@ class GenerationManager:
 
     def __init__(
         self,
-        config,
+        config: Any,
         *,
         metrics: Optional[MetricsRegistry] = None,
         grace_timeout: float = 30.0,
-    ):
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if grace_timeout <= 0:
             raise ServeError(f"grace_timeout must be positive, got {grace_timeout}")
@@ -184,7 +184,7 @@ class GenerationManager:
                 return self._commit(batches)
         except ServeError:
             raise
-        except BaseException as error:
+        except BaseException as error:  # reprolint: disable=R007 - any escape (even KeyboardInterrupt) leaves the engines out of lockstep; poison the manager before propagating
             self._broken = error
             raise
 
@@ -243,8 +243,12 @@ class GenerationManager:
             engine.ingest(source)
         engine.flush()
         engine.quiesce()
-        self._pending = engine
-        self._retired = None
+        # reader_count() and close() read _pending/_retired from other
+        # threads; publish the recycled engine under the same lock that
+        # _commit uses, or a stats probe can observe a torn handoff
+        with self._cond:
+            self._pending = engine
+            self._retired = None
 
     # ------------------------------------------------------------------
     # shutdown
@@ -275,7 +279,7 @@ class GenerationManager:
                 # (or raise from inside backend teardown)
                 try:
                     stranded.extend(engine.drain_pending())
-                except Exception as error:  # noqa: BLE001 - collected below
+                except Exception as error:  # noqa: BLE001  # reprolint: disable=R007 - best-effort recovery sweep; collected and re-raised below
                     errors.append(error)
             try:
                 engine.close()
@@ -283,7 +287,7 @@ class GenerationManager:
                 # close-path detection: a router noticed its own failed
                 # commit; fold its recovered rows into ours
                 stranded.extend(error.pending_rows)
-            except Exception as error:  # noqa: BLE001 - collected below
+            except Exception as error:  # noqa: BLE001  # reprolint: disable=R007 - keep closing the remaining engines; collected and re-raised below
                 errors.append(error)
         if stranded:
             raise StrandedWritesError(

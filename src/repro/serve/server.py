@@ -65,7 +65,7 @@ class _WriteTicket:
 
     __slots__ = ("sources", "done", "applied", "error", "epoch")
 
-    def __init__(self, sources: List[Any]):
+    def __init__(self, sources: List[Any]) -> None:
         self.sources = sources
         self.done = threading.Event()
         self.applied = 0
@@ -104,7 +104,7 @@ class EstimationServer:
 
     def __init__(
         self,
-        config,
+        config: Any,
         *,
         listen: Union[str, Tuple[str, int]] = ("127.0.0.1", 0),
         token: Optional[str] = None,
@@ -114,7 +114,7 @@ class EstimationServer:
         retry_after: float = 0.05,
         grace_timeout: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if queue_depth < 1:
             raise ValidationError(f"queue_depth must be >= 1, got {queue_depth}")
         if max_estimates < 1:
@@ -200,7 +200,7 @@ class EstimationServer:
             self.start()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:
@@ -282,7 +282,7 @@ class EstimationServer:
             self._queue_gauge.set(float(self._queue.qsize()))
             try:
                 results = self._generations.commit([t.sources for t in tickets])
-            except BaseException as error:  # noqa: BLE001 - reported per ticket
+            except BaseException as error:  # noqa: BLE001  # reprolint: disable=R007 - every waiting ticket must learn the commit failed or its client hangs
                 for t in tickets:
                     t.error = error
                     t.done.set()
@@ -385,7 +385,7 @@ class EstimationServer:
             raise ClusterError("client presented a wrong or missing token")
 
     def _dispatch(
-        self, op: str, payload: Any, request_meta: Dict[str, Any], tracer
+        self, op: str, payload: Any, request_meta: Dict[str, Any], tracer: Any
     ) -> Tuple[str, Any, Dict[str, Any]]:
         """Run one op under tracing/metrics; never raises."""
         trace_ctx = request_meta.get("trace")
@@ -400,7 +400,7 @@ class EstimationServer:
                             span.set_attribute("status", status)
             else:
                 status, body = self._handle(op, payload)
-        except Exception as error:  # noqa: BLE001 - reported to the peer
+        except Exception as error:  # noqa: BLE001  # reprolint: disable=R007 - protocol boundary: every failure becomes an error reply to the client
             status, body = "error", describe_error(error)
             if span is not None:
                 span.set_attribute("error", body["type"])

@@ -149,7 +149,7 @@ class ShardRouter:
             batch = self.index.prepare_batch(stacked, coerced=True)
             try:
                 self.index.commit_batch(batch, executor=self._executor)
-            except BaseException:
+            except BaseException:  # reprolint: disable=R007 - any escape here means buffered rows may be lost; latch the failure flag before re-raising
                 self._commit_failed = True
                 raise
         self._flush_seconds.observe(time.perf_counter() - started)
@@ -197,10 +197,10 @@ class ShardRouter:
                         )
                 else:  # pragma: no cover - defensive
                     raise ValidationError(f"unknown event type: {type(event).__name__}")
-        except BaseException as error:
+        except BaseException as error:  # reprolint: disable=R007 - recovery flush must run before anything (even KeyboardInterrupt) propagates
             try:
                 self.flush()
-            except Exception as flush_error:
+            except Exception as flush_error:  # reprolint: disable=R007 - chained into the original error below, never swallowed
                 # the original error propagates, but the recovery-flush
                 # failure must stay diagnosable: splice it into the
                 # context chain (original → flush failure → whatever the
@@ -250,7 +250,7 @@ class ShardRouter:
     def __exit__(self, exc_type, exc, tb) -> None:
         try:
             self.close()
-        except Exception as close_error:
+        except Exception as close_error:  # reprolint: disable=R007 - chained into the already-propagating exception below, never swallowed
             if exc_type is None:
                 raise
             # an exception is already leaving the with-body (most likely

@@ -947,7 +947,7 @@ class ShardedMutableIndex:
     ) -> "ShardedMutableIndex":
         """Revive a cluster from a :meth:`snapshot` file."""
         with open(path, "rb") as handle:
-            state = pickle.load(handle)
+            state = pickle.load(handle)  # reprolint: disable=R005 - operator-supplied local snapshot file, same trust domain as the process
         return cls.from_state(state, estimator_seed=estimator_seed)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

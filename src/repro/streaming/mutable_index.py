@@ -869,7 +869,7 @@ class MutableLSHIndex:
     def restore(cls, path: Union[str, Path]) -> "MutableLSHIndex":
         """Revive an index from a :meth:`snapshot` file."""
         with open(path, "rb") as handle:
-            state = pickle.load(handle)
+            state = pickle.load(handle)  # reprolint: disable=R005 - operator-supplied local snapshot file, same trust domain as the process
         return cls.from_state(state)
 
     def check_invariants(self) -> None:
@@ -896,6 +896,7 @@ class MutableLSHIndex:
 __all__ = [
     "MutableLSHTable",
     "MutableLSHIndex",
+    "claim_vector_id",
     "coerce_row",
     "coerce_matrix",
     "signature_bucket_key",

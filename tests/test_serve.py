@@ -81,6 +81,59 @@ class TestGenerationManager:
         finally:
             manager.close()
 
+    def test_generation_pointers_only_move_under_the_lock(self):
+        """Regression: the recycle path published ``_pending``/``_retired``
+        without ``_cond``, racing concurrent ``reader_count``/``close``
+        callers (reprolint R002).  Audit every write to the generation
+        pointers after construction and run the full two-engine cycle.
+        """
+
+        class _HeldCondition:
+            """threading.Condition facade that tracks ownership depth."""
+
+            def __init__(self):
+                self._inner = threading.Condition()
+                self.held = 0
+
+            def __enter__(self):
+                self._inner.__enter__()
+                self.held += 1
+                return self
+
+            def __exit__(self, *exc):
+                self.held -= 1
+                return self._inner.__exit__(*exc)
+
+            def wait(self, timeout=None):
+                return self._inner.wait(timeout)
+
+            def notify_all(self):
+                return self._inner.notify_all()
+
+        unlocked_writes = []
+
+        class _AuditedManager(GenerationManager):
+            def __setattr__(self, name, value):
+                if name in ("_pending", "_retired") and getattr(
+                    self, "_audit", False
+                ):
+                    if self._cond.held == 0:
+                        unlocked_writes.append(name)
+                super().__setattr__(name, value)
+
+        manager = _AuditedManager(_config())
+        manager._cond = _HeldCondition()
+        manager._audit = True
+        try:
+            manager.commit([_events(10)])           # retires engine A
+            manager.commit([_events(5, seed=2)])    # recycles A → pending
+            manager.commit([_events(5, seed=3)])    # and back again
+            assert manager.epoch == 3
+            assert unlocked_writes == []
+        finally:
+            manager._audit = False
+            manager.close()
+
     def test_publication_never_waits_for_readers(self):
         """The writer-starvation bound: publish while a reader is pinned."""
         manager = GenerationManager(_config(), grace_timeout=5.0)
