@@ -1,0 +1,798 @@
+"""Static concurrency model: lock-acquisition graphs lifted from the AST.
+
+PR 8's lock-guard rule (R002) checks lock *usage* lexically — which
+attributes are mutated under which lock.  This module models lock
+*behaviour*: which locks each method acquires, what it calls while
+holding them, and what the resulting process-wide acquisition graph
+looks like.  Three rules ride on the model:
+
+``R008`` **lock-order inversion** — the acquisition graph (including
+cross-class edges resolved through attribute-type heuristics: when
+``__init__`` assigns ``self._generations = GenerationManager(...)``,
+a call to ``self._generations.read()`` under a held lock contributes
+the locks ``GenerationManager.read`` acquires) contains a cycle
+A→B, B→A.  A cycle is a potential deadlock even if no run has hit it.
+
+``R009`` **blocking call under lock** — socket ``recv``/``sendall``,
+blocking ``queue`` ops, ``sleep``, ``Thread.join``, ``Future.result``,
+subprocess waits, or an engine ``estimate``/``ingest`` reached while a
+lock is held.  ``Condition.wait`` on the *held* condition is exempt
+(waiting releases it — that is the point of a condition variable);
+waiting on anything else while holding a lock stalls every other
+thread that needs it.
+
+``R010`` **lock-leak** — a lock acquired via ``.acquire()`` whose
+function has no ``finally``-guaranteed ``.release()`` (and no ``with``
+on the same lock): one exception between the two and the lock is held
+forever.
+
+The same :class:`StaticLockModel` backs the runtime half of the
+sanitizer: ``repro lockdep-report`` asserts that the lock-order graph
+*observed* by :mod:`repro.analysis.lockdep` during an instrumented run
+is a subgraph of this static model — an observed edge the static pass
+missed is itself a finding (the model lost track of an acquisition
+path).  Lock identities are class-qualified (``ClassName.attr``) on
+both sides so the two halves speak the same names.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+from repro.analysis.rules import dotted_name
+
+#: attribute names that look like synchronisation primitives even when
+#: their construction site is outside the linted file set
+_LOCK_NAME_RE = re.compile(r"(?i)lock|cond|mutex|sema|seriali[sz]er")
+
+#: ``threading`` constructors that create a lock-like primitive
+_LOCK_CTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "threading.Semaphore": "semaphore",
+    "threading.BoundedSemaphore": "semaphore",
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "BoundedSemaphore": "semaphore",
+}
+
+#: method names that block the calling thread (receiver-independent)
+_BLOCKING_METHODS = {
+    "recv": "socket recv",
+    "recv_into": "socket recv",
+    "recv_reply": "transport recv",
+    "recv_message": "transport recv",
+    "sendall": "socket sendall",
+    "accept": "socket accept",
+    "connect": "socket connect",
+    "communicate": "subprocess wait",
+    "result": "Future.result",
+    "estimate": "engine estimate",
+    "ingest": "engine ingest",
+}
+
+#: ``.join()`` receivers that are threads/processes, not str.join
+_THREADISH_RE = re.compile(r"(?i)thread|proc|worker|acceptor|writer|handler|child|pool")
+
+#: ``.get()``/``.put()`` receivers that are queues, not dicts
+_QUEUEISH_RE = re.compile(r"(?i)queue|_q\b|jobs|inbox|outbox")
+
+#: module-level callables that block
+_BLOCKING_DOTTED = {
+    "time.sleep": "sleep",
+    "sleep": "sleep",
+    "select.select": "select",
+    "socket.create_connection": "socket connect",
+    "subprocess.run": "subprocess wait",
+    "subprocess.call": "subprocess wait",
+    "subprocess.check_call": "subprocess wait",
+    "subprocess.check_output": "subprocess wait",
+    "os.waitpid": "subprocess wait",
+}
+
+
+# ----------------------------------------------------------------------
+# model dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LockSite:
+    """One interesting event inside a method body, with its location."""
+
+    module: SourceModule
+    node: ast.AST
+
+
+@dataclass
+class MethodModel:
+    """What one method does with locks, before any cross-class resolution.
+
+    ``held`` tuples name the ``self`` lock attributes held at the event
+    (innermost last).  Call targets are ``("self", name)`` for
+    intra-class calls, ``(attr, name)`` for calls through a ``self``
+    attribute, and ``(None, name)`` for unresolvable receivers.
+    """
+
+    name: str
+    #: (held-locks, acquired-lock-attr, site) for every `with self.X:`
+    acquisitions: List[Tuple[Tuple[str, ...], str, LockSite]] = field(default_factory=list)
+    #: (held-locks, receiver-kind, method-name, receiver-dotted, site)
+    calls: List[Tuple[Tuple[str, ...], Optional[str], str, Optional[str], LockSite]] = field(
+        default_factory=list
+    )
+    #: (held-locks, reason, call-name, site) for directly blocking calls
+    blocking: List[Tuple[Tuple[str, ...], str, str, LockSite]] = field(default_factory=list)
+    #: receivers of bare ``.acquire()`` calls (for R010)
+    acquire_calls: List[Tuple[str, LockSite]] = field(default_factory=list)
+    #: receivers released inside a ``finally`` block or a ``with``
+    guaranteed_releases: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassModel:
+    """One class's locks, attribute types, and per-method lock behaviour."""
+
+    name: str
+    module: SourceModule
+    #: lock attribute → primitive kind ("lock"/"condition"/…)
+    locks: Dict[str, str] = field(default_factory=dict)
+    #: attribute → class name it is constructed from (``self.x = Foo()``)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+
+    def lock_id(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+    def is_lock_attr(self, attr: str) -> bool:
+        return attr in self.locks or _LOCK_NAME_RE.search(attr) is not None
+
+
+@dataclass
+class LockEdge:
+    """A directed acquisition-order edge between two lock identities."""
+
+    source: str
+    target: str
+    site: LockSite
+    #: human-readable acquisition path ("EstimationServer.shutdown → …")
+    via: str
+
+
+class StaticLockModel:
+    """The project-wide acquisition graph plus the per-class models."""
+
+    def __init__(self, classes: Dict[str, ClassModel]) -> None:
+        self.classes = classes
+        self.edges: List[LockEdge] = []
+        self._edge_keys: Set[Tuple[str, str]] = set()
+        #: method → every lock id it may acquire, transitively
+        self._acquired_by: Dict[Tuple[str, str], Set[str]] = {}
+        #: method → (reason, name) blocking calls it may reach (no lock held)
+        self._blocks_in: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        self._resolve()
+
+    # -- resolution helpers --------------------------------------------
+    def _target_class(self, cls: ClassModel, receiver: Optional[str]) -> Optional[ClassModel]:
+        if receiver == "self":
+            return cls
+        if receiver is None:
+            return None
+        type_name = cls.attr_types.get(receiver)
+        if type_name is None:
+            return None
+        return self.classes.get(type_name)
+
+    def _transitive_acquires(
+        self, cls: ClassModel, method: str, stack: Set[Tuple[str, str]]
+    ) -> Set[str]:
+        key = (cls.name, method)
+        cached = self._acquired_by.get(key)
+        if cached is not None:
+            return cached
+        if key in stack:
+            return set()
+        stack.add(key)
+        model = cls.methods.get(method)
+        acquired: Set[str] = set()
+        if model is not None:
+            for _held, attr, _site in model.acquisitions:
+                acquired.add(cls.lock_id(attr))
+            for _held, receiver, name, _dotted, _site in model.calls:
+                target = self._target_class(cls, receiver)
+                if target is not None and name in target.methods:
+                    acquired |= self._transitive_acquires(target, name, stack)
+        stack.discard(key)
+        self._acquired_by[key] = acquired
+        return acquired
+
+    def _transitive_blocks(
+        self, cls: ClassModel, method: str, stack: Set[Tuple[str, str]]
+    ) -> Set[Tuple[str, str]]:
+        """Blocking calls reachable from ``method`` even with no lock held."""
+        key = (cls.name, method)
+        cached = self._blocks_in.get(key)
+        if cached is not None:
+            return cached
+        if key in stack:
+            return set()
+        stack.add(key)
+        model = cls.methods.get(method)
+        blocks: Set[Tuple[str, str]] = set()
+        if model is not None:
+            for _held, reason, name, _site in model.blocking:
+                blocks.add((reason, name))
+            for _held, receiver, name, _dotted, _site in model.calls:
+                target = self._target_class(cls, receiver)
+                if target is not None and name in target.methods:
+                    blocks |= self._transitive_blocks(target, name, stack)
+        stack.discard(key)
+        self._blocks_in[key] = blocks
+        return blocks
+
+    def _add_edge(self, source: str, target: str, site: LockSite, via: str) -> None:
+        if source == target:
+            return  # reentrancy is R002/R010 territory, not ordering
+        key = (source, target)
+        if key in self._edge_keys:
+            return
+        self._edge_keys.add(key)
+        self.edges.append(LockEdge(source, target, site, via))
+
+    def _resolve(self) -> None:
+        for cls in self.classes.values():
+            for model in cls.methods.values():
+                via = f"{cls.name}.{model.name}"
+                for held, attr, site in model.acquisitions:
+                    for held_attr in held:
+                        self._add_edge(
+                            cls.lock_id(held_attr), cls.lock_id(attr), site, via
+                        )
+                for held, receiver, name, _dotted, site in model.calls:
+                    if not held:
+                        continue
+                    target = self._target_class(cls, receiver)
+                    if target is None or name not in target.methods:
+                        continue
+                    for acquired in sorted(
+                        self._transitive_acquires(target, name, set())
+                    ):
+                        for held_attr in held:
+                            self._add_edge(
+                                cls.lock_id(held_attr),
+                                acquired,
+                                site,
+                                f"{via} → {target.name}.{name}",
+                            )
+
+    # -- queries --------------------------------------------------------
+    @property
+    def edge_keys(self) -> Set[Tuple[str, str]]:
+        return set(self._edge_keys)
+
+    def lock_ids(self) -> Set[str]:
+        ids: Set[str] = set()
+        for cls in self.classes.values():
+            for attr in cls.locks:
+                ids.add(cls.lock_id(attr))
+        for source, target in self._edge_keys:
+            ids.add(source)
+            ids.add(target)
+        return ids
+
+    def find_cycles(self) -> List[List[str]]:
+        return find_cycles(self._edge_keys)
+
+    def edges_in_cycles(self) -> List[LockEdge]:
+        """Every recorded edge that participates in some cycle."""
+        cyclic_nodes = {node for cycle in self.find_cycles() for node in cycle}
+        chosen = []
+        for edge in self.edges:
+            if edge.source in cyclic_nodes and edge.target in cyclic_nodes:
+                # an edge between two cyclic nodes is on a cycle iff the
+                # target can reach the source again
+                if _reaches(self._edge_keys, edge.target, edge.source):
+                    chosen.append(edge)
+        return chosen
+
+    def blocking_under_lock(
+        self,
+    ) -> List[Tuple[ClassModel, MethodModel, Tuple[str, ...], str, str, LockSite]]:
+        """All (class, method, held, reason, name, site) R009 candidates.
+
+        Direct blocking calls made while a lock is held, plus calls into
+        resolved methods that transitively reach a blocking call.
+        ``Condition.wait`` on the held condition never reaches here —
+        it is filtered out at collection time.
+        """
+        found = []
+        for cls in self.classes.values():
+
+            def stalling(held: Tuple[str, ...], cls: ClassModel = cls) -> Tuple[str, ...]:
+                # a counting semaphore is an admission throttle, not a
+                # mutex: blocking while holding a slot is its purpose
+                return tuple(
+                    attr for attr in held if cls.locks.get(attr) != "semaphore"
+                )
+
+            for model in cls.methods.values():
+                for held, reason, name, site in model.blocking:
+                    held = stalling(held)
+                    if held:
+                        found.append((cls, model, held, reason, name, site))
+                for held, receiver, name, dotted, site in model.calls:
+                    held = stalling(held)
+                    if not held:
+                        continue
+                    target = self._target_class(cls, receiver)
+                    if target is None or name not in target.methods:
+                        continue
+                    for reason, blocked_name in sorted(
+                        self._transitive_blocks(target, name, set())
+                    ):
+                        found.append(
+                            (
+                                cls,
+                                model,
+                                held,
+                                f"{reason} via {target.name}.{name}",
+                                blocked_name,
+                                site,
+                            )
+                        )
+        return found
+
+
+# ----------------------------------------------------------------------
+# graph utilities (shared with the runtime lockdep half)
+# ----------------------------------------------------------------------
+def find_cycles(edges: Iterable[Tuple[str, str]]) -> List[List[str]]:
+    """Elementary cycles of a directed graph, as ``[a, b, …, a]`` paths.
+
+    Small graphs only (lock graphs have tens of nodes): DFS from every
+    node inside its strongly-connected component.  Each cycle is
+    reported once, rotated so its lexicographically smallest node leads.
+    """
+    graph: Dict[str, Set[str]] = {}
+    for source, target in edges:
+        graph.setdefault(source, set()).add(target)
+        graph.setdefault(target, set())
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for neighbour in sorted(graph.get(node, ())):
+            if neighbour == start:
+                cycle = path[:]
+                pivot = cycle.index(min(cycle))
+                canonical = tuple(cycle[pivot:] + cycle[:pivot])
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(list(canonical) + [canonical[0]])
+            elif neighbour not in visited and neighbour > start:
+                # only explore nodes ≥ start: each cycle found exactly
+                # once, from its smallest node
+                visited.add(neighbour)
+                dfs(start, neighbour, path + [neighbour], visited)
+                visited.discard(neighbour)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def _reaches(edges: Set[Tuple[str, str]], source: str, goal: str) -> bool:
+    graph: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+    frontier = [source]
+    visited = {source}
+    while frontier:
+        node = frontier.pop()
+        if node == goal:
+            return True
+        for neighbour in graph.get(node, ()):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append(neighbour)
+    return False
+
+
+# ----------------------------------------------------------------------
+# AST → model extraction
+# ----------------------------------------------------------------------
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _scan_class_attributes(cls_node: ast.ClassDef, model: ClassModel) -> None:
+    """Find lock attributes and attribute construction types anywhere in
+    the class body (``__init__`` mostly, but any method counts)."""
+    for node in ast.walk(cls_node):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is None:
+            continue
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            # a lock constructor anywhere in the value expression marks
+            # the attribute (covers `x = None if … else threading.Lock()`)
+            for call in ast.walk(value):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = dotted_name(call.func)
+                if name in _LOCK_CTORS:
+                    model.locks.setdefault(attr, _LOCK_CTORS[name])
+                elif name is not None and call is value:
+                    # `self.x = SomeClass(...)`: remember the class name so
+                    # calls through self.x can be resolved cross-class
+                    last = name.rsplit(".", 1)[-1]
+                    if last[:1].isupper():
+                        model.attr_types.setdefault(attr, last)
+
+
+def _is_held_condition_wait(call: ast.Call, held: Tuple[str, ...]) -> bool:
+    """``self._cond.wait(...)`` / ``wait_for`` while ``_cond`` is held."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr in ("wait", "wait_for")):
+        return False
+    receiver = _self_attr(func.value)
+    return receiver is not None and receiver in held
+
+
+def _classify_blocking(
+    call: ast.Call, held: Tuple[str, ...]
+) -> Optional[Tuple[str, str]]:
+    """(reason, display-name) when ``call`` blocks the calling thread."""
+    func = call.func
+    dotted = dotted_name(func)
+    if dotted is not None and dotted in _BLOCKING_DOTTED:
+        return _BLOCKING_DOTTED[dotted], dotted
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    receiver = dotted_name(func.value)
+    display = f"{receiver}.{method}" if receiver else method
+    if method in _BLOCKING_METHODS:
+        return _BLOCKING_METHODS[method], display
+    if method == "join" and receiver is not None and _THREADISH_RE.search(receiver):
+        return "Thread.join", display
+    if method in ("get", "put") and receiver is not None and _QUEUEISH_RE.search(receiver):
+        # non-blocking spellings have their own names (get_nowait/put_nowait)
+        for keyword in call.keywords:
+            if keyword.arg == "block" and isinstance(keyword.value, ast.Constant):
+                if keyword.value.value is False:
+                    return None
+        if call.args and isinstance(call.args[0], ast.Constant) and call.args[0].value is False:
+            return None
+        return "blocking queue op", display
+    if method in ("wait", "wait_for"):
+        if _is_held_condition_wait(call, held):
+            return None  # waiting on the held condition releases it
+        return "wait", display
+    if method == "acquire":
+        # blocking acquire of *another* primitive: ordering edge (R008
+        # territory); acquire(blocking=False) polls and returns
+        return None
+    return None
+
+
+def _extract_method(
+    cls: ClassModel,
+    func_node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    module: SourceModule,
+) -> MethodModel:
+    model = MethodModel(name=func_node.name)
+
+    def finally_releases(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                ):
+                    receiver = dotted_name(node.func.value)
+                    if receiver is not None:
+                        model.guaranteed_releases.add(receiver)
+
+    def bare_acquires(stmt: ast.AST) -> List[str]:
+        """Lock attrs acquired via bare ``self.X.acquire(...)`` in ``stmt``.
+
+        A bare acquire extends the held-set for the *rest of the block*
+        (flow-sensitively): ``if not self._slots.acquire(blocking=False):
+        return`` followed by a try/finally is the semaphore idiom in the
+        serve path, and the statements after it really do run with the
+        primitive held.  Over-approximates failure branches — safe, since
+        extra static edges only widen the model the runtime graph must be
+        a subgraph of.
+        """
+        found: List[str] = []
+
+        def scan(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "acquire":
+                    attr = _self_attr(node.func.value)
+                    if attr is not None and cls.is_lock_attr(attr):
+                        found.append(attr)
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+
+        scan(stmt)
+        return found
+
+    def walk_block(stmts: Sequence[ast.stmt], held: Tuple[str, ...]) -> Tuple[str, ...]:
+        for stmt in stmts:
+            walk(stmt, held)
+            for attr in bare_acquires(stmt):
+                if attr not in held:
+                    held = held + (attr,)
+        return held
+
+    def walk(node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func_node:
+            return  # nested defs run later, under their own held-set
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.Try,)):
+            for handler in node.handlers:
+                walk_block(handler.body, held)
+            after_body = walk_block(node.body, held)
+            walk_block(node.orelse, after_body)
+            finally_releases(node.finalbody)
+            walk_block(node.finalbody, after_body)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            new_held = held
+            for item in node.items:
+                ctx = item.context_expr
+                attr = _self_attr(ctx)
+                if attr is not None and cls.is_lock_attr(attr):
+                    site = LockSite(module, ctx)
+                    model.acquisitions.append((new_held, attr, site))
+                    if attr not in new_held:
+                        new_held = new_held + (attr,)
+                    # `with` guarantees the release on every exit path
+                    model.guaranteed_releases.add(f"self.{attr}")
+                else:
+                    # `with self.x.y():` etc: the context expression may
+                    # contain calls — classify them under the current set
+                    for call in ast.walk(item.context_expr):
+                        if isinstance(call, ast.Call):
+                            classify_call(call, held)
+            walk_block(node.body, new_held)
+            return
+        if isinstance(node, ast.Call):
+            classify_call(node, held)
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    def classify_call(call: ast.Call, held: Tuple[str, ...]) -> None:
+        func = call.func
+        site = LockSite(module, call)
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire":
+                receiver = dotted_name(func.value)
+                if receiver is not None:
+                    receiver_attr = _self_attr(func.value)
+                    looks_locky = (
+                        receiver_attr is not None and cls.is_lock_attr(receiver_attr)
+                    ) or _LOCK_NAME_RE.search(receiver) is not None
+                    if looks_locky:
+                        model.acquire_calls.append((receiver, site))
+                        if receiver_attr is not None:
+                            # recorded even with an empty held-set so that
+                            # _transitive_acquires sees bare-acquire methods
+                            model.acquisitions.append((held, receiver_attr, site))
+                return
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                # self.method(...)
+                model.calls.append((held, "self", func.attr, dotted_name(func), site))
+            else:
+                receiver_attr = _self_attr(func.value)
+                if receiver_attr is not None:
+                    # self.attr.method(...) — resolved via attr_types
+                    model.calls.append(
+                        (held, receiver_attr, func.attr, dotted_name(func), site)
+                    )
+        blocking = _classify_blocking(call, held)
+        if blocking is not None:
+            reason, display = blocking
+            model.blocking.append((held, reason, display, site))
+
+    walk_block(func_node.body, ())
+    return model
+
+
+def build_lock_model(project: Project) -> StaticLockModel:
+    """Extract every class's lock behaviour and resolve the global graph."""
+    classes: Dict[str, ClassModel] = {}
+    for module in project:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = ClassModel(name=node.name, module=module)
+            _scan_class_attributes(node, cls)
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[child.name] = _extract_method(cls, child, module)
+            # first definition wins on name collisions across modules —
+            # the heuristic is best-effort, and src/ has unique class names
+            classes.setdefault(node.name, cls)
+    return StaticLockModel(classes)
+
+
+# ----------------------------------------------------------------------
+# R008 — lock-order inversion
+# ----------------------------------------------------------------------
+class LockOrderRule(Rule):
+    """The acquisition graph must be acyclic.
+
+    Two threads taking the same pair of locks in opposite orders can
+    each hold one and wait forever for the other.  The rule builds the
+    project-wide acquisition graph (``with self._a:`` nesting plus
+    cross-class acquisition through resolved method calls) and flags
+    every edge that lies on a cycle, naming the cycle so both sites of
+    an inversion are visible.
+    """
+
+    id = "R008"
+    name = "lock-order-inversion"
+    description = (
+        "the lock acquisition graph (incl. cross-class edges) must not "
+        "contain a cycle"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = build_lock_model(project)
+        cycles = model.find_cycles()
+        if not cycles:
+            return []
+        by_nodes: Dict[str, List[str]] = {}
+        for cycle in cycles:
+            for node in cycle:
+                by_nodes.setdefault(node, cycle)
+        findings = []
+        for edge in model.edges_in_cycles():
+            cycle = by_nodes.get(edge.source) or by_nodes.get(edge.target)
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    message=(
+                        f"lock-order inversion: acquiring {edge.target} while "
+                        f"holding {edge.source} (in {edge.via}) closes the "
+                        f"cycle {' → '.join(cycle)}"
+                    ),
+                    path=edge.site.module.path,
+                    line=getattr(edge.site.node, "lineno", 1),
+                    col=getattr(edge.site.node, "col_offset", 0),
+                )
+            )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# R009 — blocking call under lock
+# ----------------------------------------------------------------------
+class BlockingUnderLockRule(Rule):
+    """Nothing that can block indefinitely runs while a lock is held.
+
+    A blocked lock-holder stalls every thread that needs the lock: a
+    socket ``recv`` under ``_conn_lock`` turns one slow peer into a
+    server-wide outage.  Flagged while any lock is held: socket
+    recv/sendall/accept, blocking ``queue`` get/put, ``sleep``,
+    ``Thread.join``, ``Future.result``, subprocess waits, and engine
+    ``estimate``/``ingest`` — directly or through a resolved method
+    call.  ``Condition.wait`` on the held condition itself is exempt
+    (it releases the lock while waiting).
+    """
+
+    id = "R009"
+    name = "blocking-under-lock"
+    description = (
+        "no blocking call (socket/queue/sleep/join/Future.result/"
+        "subprocess/engine estimate+ingest) while a lock is held"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = build_lock_model(project)
+        findings = []
+        for cls, method, held, reason, name, site in model.blocking_under_lock():
+            held_ids = ", ".join(cls.lock_id(attr) for attr in held)
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    message=(
+                        f"blocking call `{name}` ({reason}) in "
+                        f"{cls.name}.{method.name} while holding {held_ids} — "
+                        "a stalled holder blocks every waiter"
+                    ),
+                    path=site.module.path,
+                    line=getattr(site.node, "lineno", 1),
+                    col=getattr(site.node, "col_offset", 0),
+                )
+            )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# R010 — lock leak
+# ----------------------------------------------------------------------
+class LockLeakRule(Rule):
+    """Every bare ``.acquire()`` needs a ``finally``-guaranteed release.
+
+    ``with lock:`` releases on every exit path; a bare ``acquire()``
+    followed by an exception before ``release()`` holds the lock
+    forever.  The rule flags ``.acquire()`` on a lock-like receiver in
+    any function whose body has no ``release()`` on the same receiver
+    inside a ``finally`` block (a ``with`` on the same lock also
+    counts).  Hand-off patterns that release in another method need a
+    pragma explaining the protocol.
+    """
+
+    id = "R010"
+    name = "lock-leak"
+    description = (
+        "a lock acquired via .acquire() must be released in a finally "
+        "block of the same function"
+    )
+
+    def check_module(self, module: SourceModule, project: Project) -> Iterable[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = ClassModel(name=node.name, module=module)
+            _scan_class_attributes(node, cls)
+            for child in node.body:
+                if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                method = _extract_method(cls, child, module)
+                for receiver, site in method.acquire_calls:
+                    if receiver in method.guaranteed_releases:
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            message=(
+                                f"`{receiver}.acquire()` in {node.name}."
+                                f"{child.name} has no finally-guaranteed "
+                                f"`{receiver}.release()` — an exception "
+                                "in between leaks the lock"
+                            ),
+                            path=module.path,
+                            line=getattr(site.node, "lineno", 1),
+                            col=getattr(site.node, "col_offset", 0),
+                        )
+                    )
+        return findings
+
+
+__all__ = [
+    "BlockingUnderLockRule",
+    "ClassModel",
+    "LockEdge",
+    "LockOrderRule",
+    "LockLeakRule",
+    "LockSite",
+    "MethodModel",
+    "StaticLockModel",
+    "build_lock_model",
+    "find_cycles",
+]

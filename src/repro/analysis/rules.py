@@ -17,14 +17,24 @@ R005 pickle-boundary         ``pickle.load(s)`` only in the transport
 R006 all-parity              ``__all__`` matches the public defs
 R007 broad-except            ``except Exception`` must be deliberate
                              (pragma with a reason) or narrowed
+R008 lock-order-inversion    the lock acquisition graph (incl.
+                             cross-class edges) has no cycles
+R009 blocking-under-lock     no blocking call (socket/queue/sleep/
+                             join/result/subprocess/engine) under a lock
+R010 lock-leak               bare ``.acquire()`` needs a ``finally``-
+                             guaranteed ``.release()``
 ==== ======================= ==========================================
+
+R008–R010 live in :mod:`repro.analysis.concurrency` (they share the
+static lock model with the runtime lockdep harness) and are imported
+lazily by :func:`default_rules` to avoid a circular import.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.engine import Finding, Project, Rule, SourceModule
 
@@ -653,6 +663,14 @@ class BroadExceptRule(Rule):
 # ----------------------------------------------------------------------
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in id order."""
+    # imported here, not at module top: concurrency.py reuses this
+    # module's AST helpers, so a top-level import would be circular
+    from repro.analysis.concurrency import (
+        BlockingUnderLockRule,
+        LockLeakRule,
+        LockOrderRule,
+    )
+
     return [
         SeedDisciplineRule(),
         LockGuardRule(),
@@ -661,6 +679,9 @@ def default_rules() -> List[Rule]:
         PickleBoundaryRule(),
         AllParityRule(),
         BroadExceptRule(),
+        LockOrderRule(),
+        BlockingUnderLockRule(),
+        LockLeakRule(),
     ]
 
 

@@ -239,7 +239,13 @@ class EstimationServer:
             self._connections.clear()
         for conn in connections:
             conn.close()  # unblocks handler threads parked in recv()
-        for thread in self._conn_threads:
+        with self._conn_lock:
+            # snapshot under the lock: the acceptor registers threads under
+            # _conn_lock, so an unlocked iteration could race a late accept
+            # (list mutation mid-iteration, or joining a thread the
+            # acceptor has registered but not yet started)
+            conn_threads = list(self._conn_threads)
+        for thread in conn_threads:
             thread.join(timeout=10.0)
         try:
             self._generations.close()
@@ -313,8 +319,11 @@ class EstimationServer:
                 daemon=True,
             )
             with self._conn_lock:
+                # register *and start* under the lock: shutdown snapshots
+                # this list under the same lock, so it can never observe a
+                # registered-but-unstarted thread (join() would raise)
                 self._conn_threads.append(thread)
-            thread.start()
+                thread.start()
 
     def _serve_connection(self, sock: socket.socket) -> None:
         conn = Connection(sock, timeout=None, metrics=self.metrics)
@@ -465,7 +474,11 @@ class EstimationServer:
             with self._generations.read() as generation:
                 if self._read_serialiser is not None:
                     with self._read_serialiser:
-                        result = generation.engine.estimate(request)
+                        # serialising estimates is this lock's entire job:
+                        # the serial read-mode trades throughput for strict
+                        # per-engine determinism, so the engine call *is*
+                        # the critical section
+                        result = generation.engine.estimate(request)  # reprolint: disable=R009 - serial read-mode deliberately runs the estimate inside the serialiser lock
                 else:
                     result = generation.engine.estimate(request)
                 return "ok", {"result": result.to_dict(), "epoch": generation.epoch}

@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -47,12 +47,18 @@ from repro.core.lsh_ss import (
     sample_stratum_l,
 )
 from repro.errors import ValidationError
-from repro.obs.metrics import get_global_registry
+from repro.obs.metrics import MetricsRegistry, get_global_registry
 from repro.obs.tracing import trace
 from repro.rng import RandomState, ensure_rng
-from repro.shard.sharded_index import ShardedMutableIndex
+from repro.shard.sharded_index import IndexShard, ShardedMutableIndex
+
+if TYPE_CHECKING:  # the router imports this package's index; stay acyclic
+    from repro.shard.router import ShardRouter
 
 _MODES = ("auto", "exact", "merged")
+
+#: draws ``size`` pair ids: (left ids, right ids)
+PairSource = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -119,9 +125,9 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         sample_size_l: Optional[int] = None,
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
-        router=None,
-        metrics=None,
-    ):
+        router: Optional["ShardRouter"] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         for name, value in (
             ("sample_size_h (m_H)", sample_size_h),
             ("sample_size_l (m_L)", sample_size_l),
@@ -149,7 +155,9 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
     # ------------------------------------------------------------------
     # merged-reservoir pair sources
     # ------------------------------------------------------------------
-    def _shard_h_draw(self, shard, count: int, rng: np.random.Generator):
+    def _shard_h_draw(
+        self, shard: IndexShard, count: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """``count`` stratum-H pairs from one shard: reservoir, else fresh."""
         estimator = shard.estimator
         if estimator is not None and estimator.reservoir_usable("h"):
@@ -158,7 +166,9 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
             return left[positions], right[positions]
         return shard.index.sample_collision_pairs(count, random_state=rng)
 
-    def _shard_l_draw(self, shard, count: int, rng: np.random.Generator):
+    def _shard_l_draw(
+        self, shard: IndexShard, count: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """``count`` intra-shard stratum-L pairs: reservoir, else fresh."""
         estimator = shard.estimator
         if estimator is not None and estimator.reservoir_usable("l"):
@@ -167,12 +177,12 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
             return left[positions], right[positions]
         return shard.index.sample_non_collision_pairs(count, random_state=rng)
 
-    def _merged_source_h(self, strata: MergedStrata):
+    def _merged_source_h(self, strata: MergedStrata) -> PairSource:
         weights = np.asarray(strata.shard_collision_pairs, dtype=np.float64)
         total = weights.sum()
         probabilities = weights / total
 
-        def source(size: int, rng: np.random.Generator):
+        def source(size: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
             picks = rng.choice(len(self.sharded.shards), size=size, p=probabilities)
             left = np.empty(size, dtype=np.int64)
             right = np.empty(size, dtype=np.int64)
@@ -185,7 +195,7 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
 
         return source
 
-    def _merged_source_l(self, strata: MergedStrata):
+    def _merged_source_l(self, strata: MergedStrata) -> PairSource:
         num_shards = len(self.sharded.shards)
         intra = np.asarray(strata.shard_intra_non_collision_pairs, dtype=np.float64)
         # component num_shards + index(i, j) = the cross-shard block (i, j)
@@ -198,7 +208,7 @@ class ShardedStreamingEstimator(SimilarityJoinSizeEstimator):
         probabilities = weights / weights.sum()
         shard_ids_arrays = [shard.index.ids for shard in self.sharded.shards]
 
-        def source(size: int, rng: np.random.Generator):
+        def source(size: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
             picks = rng.choice(weights.size, size=size, p=probabilities)
             left = np.empty(size, dtype=np.int64)
             right = np.empty(size, dtype=np.int64)

@@ -77,7 +77,7 @@ def signature_shard_hash(signatures: np.ndarray) -> np.ndarray:
     return accumulator ^ (accumulator >> np.uint64(33))
 
 
-def key_signature_matrix(keys, num_hashes: int) -> np.ndarray:
+def key_signature_matrix(keys: Iterable[bytes], num_hashes: int) -> np.ndarray:
     """Decode serialised bucket keys back into an ``(n, k)`` signature matrix.
 
     Bucket keys are the little-endian ``int64`` bytes of the signature
@@ -107,7 +107,7 @@ class _SignatureHashPartitioner:
 
     kind = "abstract"
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
@@ -171,7 +171,7 @@ class RendezvousPartitioner(_SignatureHashPartitioner):
 
     kind = "rendezvous"
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int) -> None:
         super().__init__(num_shards)
         shard_ids = np.arange(1, self.num_shards + 1, dtype=np.uint64)
         self._salts = _splitmix64(shard_ids * np.uint64(_GOLDEN))
@@ -193,7 +193,10 @@ _PARTITIONER_KINDS: Dict[str, type] = {
 }
 
 
-def resolve_partitioner(spec, num_shards: int) -> Partitioner:
+def resolve_partitioner(
+    spec: Union[str, type, KeyPartitioner, RendezvousPartitioner],
+    num_shards: int,
+) -> Partitioner:
     """Normalise a partitioner spec: kind string, class, or instance.
 
     An instance must already match ``num_shards``; a kind string

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
+
+from repro.core.base import SimilarityJoinSizeEstimator
 
 from scipy import sparse
 
@@ -50,7 +52,7 @@ class ShardRouter:
         batch_size: int = 256,
         max_workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         self.index = index
@@ -164,7 +166,7 @@ class ShardRouter:
         self,
         log: ChangeLog,
         *,
-        estimator=None,
+        estimator: Optional[SimilarityJoinSizeEstimator] = None,
         threshold: Optional[float] = None,
         mode: str = "auto",
         random_state: RandomState = None,
@@ -247,7 +249,7 @@ class ShardRouter:
     def __enter__(self) -> "ShardRouter":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         try:
             self.close()
         except Exception as close_error:  # reprolint: disable=R007 - chained into the already-propagating exception below, never swallowed

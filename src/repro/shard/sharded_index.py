@@ -36,14 +36,15 @@ import pickle
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
+from concurrent.futures import Executor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 from scipy import sparse
 
 from repro.errors import InsufficientSampleError, ValidationError
 from repro.lsh.families import LSHFamily
-from repro.obs.metrics import MetricsRegistry, get_global_registry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, get_global_registry
 from repro.obs.tracing import trace
 from repro.lsh.index import resolve_family
 from repro.lsh.table import sample_uniform_pairs, sample_weighted_bucket_pairs
@@ -58,6 +59,7 @@ from repro.shard.partition import (
 from repro.streaming.estimator import StreamingEstimator
 from repro.streaming.mutable_index import (
     MutableLSHIndex,
+    MutableLSHTable,
     VectorInput,
     claim_vector_id,
     coerce_matrix,
@@ -118,7 +120,7 @@ class _MergedPrimaryView:
     estimators and samplers touch, answering from the owning shards.
     """
 
-    def __init__(self, owner: "ShardedMutableIndex"):
+    def __init__(self, owner: "ShardedMutableIndex") -> None:
         self._owner = owner
 
     @property
@@ -143,7 +145,7 @@ class _MergedPrimaryView:
             [count for count, _ in self._owner._bucket_refs.values()], dtype=np.int64
         )
 
-    def _shard_table(self, vector_id: int):
+    def _shard_table(self, vector_id: int) -> MutableLSHTable:
         return self._owner.shard_of(vector_id).index.primary_table
 
     def signature_key(self, vector_id: int) -> bytes:
@@ -214,7 +216,7 @@ class ShardedMutableIndex:
         partitioner: Union[str, Partitioner, type] = "modulo",
         shard_estimators: bool = True,
         estimator_kwargs: Optional[Dict[str, object]] = None,
-    ):
+    ) -> None:
         if dimension < 1:
             raise ValidationError(f"dimension must be >= 1, got {dimension}")
         if num_tables < 1:
@@ -269,7 +271,7 @@ class ShardedMutableIndex:
     def metrics(self, registry: Optional[MetricsRegistry]) -> None:
         self._metrics = registry
 
-    def _commit_instruments(self):
+    def _commit_instruments(self) -> Tuple[Histogram, Counter]:
         cached = getattr(self, "_commit_metric_handles", None)
         if cached is None:
             cached = self._commit_metric_handles = (
@@ -289,7 +291,7 @@ class ShardedMutableIndex:
         num_tables: int = 1,
         family: Union[str, Type[LSHFamily]] = "cosine",
         random_state: RandomState = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> "ShardedMutableIndex":
         """Bulk-load a collection (ids ``0 … n−1`` in row order)."""
         index = cls(
@@ -532,7 +534,9 @@ class ShardedMutableIndex:
                     shard_ids[position] = ref[1]
         return PreparedBatch(ids=ids, csr=csr, signatures=signatures, keys=keys, shard_ids=shard_ids)
 
-    def commit_batch(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
+    def commit_batch(
+        self, batch: PreparedBatch, *, executor: Optional[Executor] = None
+    ) -> np.ndarray:
         """Apply a prepared batch: shard-grouped ingestion + merge bookkeeping.
 
         Rows are grouped per shard (arrival order preserved within each
@@ -552,7 +556,9 @@ class ShardedMutableIndex:
         rows_total.inc(len(batch))
         return result
 
-    def _commit_batch_inner(self, batch: PreparedBatch, *, executor=None) -> np.ndarray:
+    def _commit_batch_inner(
+        self, batch: PreparedBatch, *, executor: Optional[Executor] = None
+    ) -> np.ndarray:
         jobs = []
         for shard in self.shards:
             rows = np.flatnonzero(batch.shard_ids == shard.shard_id)
@@ -589,7 +595,7 @@ class ShardedMutableIndex:
         matrix: Union[sparse.spmatrix, np.ndarray, VectorCollection],
         *,
         vector_ids: Optional[Sequence[int]] = None,
-        executor=None,
+        executor: Optional[Executor] = None,
     ) -> np.ndarray:
         """Batched ingestion: hash once, scatter rows to their shards."""
         return self.commit_batch(

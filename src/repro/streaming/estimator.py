@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,9 @@ from repro.streaming.mutable_index import MutableLSHIndex
 
 _MODES = ("auto", "exact", "reservoir")
 
+#: draws ``size`` pair ids: (left ids, right ids)
+PairSource = Callable[[int, np.random.Generator], Tuple[np.ndarray, np.ndarray]]
+
 
 class _PairReservoir:
     """A repairable uniform sample of pairs from one stratum.
@@ -73,7 +76,7 @@ class _PairReservoir:
     — an O(1) lookup instead of a full scan.
     """
 
-    def __init__(self, target_size: int):
+    def __init__(self, target_size: int) -> None:
         self.target_size = int(target_size)
         self.left: List[int] = []
         self.right: List[int] = []
@@ -214,7 +217,7 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         reservoir_size: int = 512,
         staleness_budget: float = 0.25,
         random_state: RandomState = None,
-    ):
+    ) -> None:
         for name, value in (
             ("sample_size_h (m_H)", sample_size_h),
             ("sample_size_l (m_L)", sample_size_l),
@@ -280,7 +283,9 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
         }
 
     @classmethod
-    def from_state(cls, index, state: Mapping[str, object]) -> "StreamingEstimator":
+    def from_state(
+        cls, index: MutableLSHIndex, state: Mapping[str, object]
+    ) -> "StreamingEstimator":
         """Reattach a checkpointed estimator to ``index`` without redrawing.
 
         The reservoirs are loaded verbatim — they are repaired sampled
@@ -504,7 +509,9 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
     ) -> Estimate:
         return self._estimate_with_mode(threshold, mode, random_state=random_state)
 
-    def _pair_source(self, reservoir: _PairReservoir, mode: str, is_h: bool, stratum_size: int):
+    def _pair_source(
+        self, reservoir: _PairReservoir, mode: str, is_h: bool, stratum_size: int
+    ) -> Tuple[PairSource, str]:
         """Pair source for the kernels: reservoir draws or fresh index sampling.
 
         Explicit ``mode="reservoir"`` honours its bucket-free contract: an
@@ -515,7 +522,9 @@ class StreamingEstimator(SimilarityJoinSizeEstimator):
             left, right = reservoir.arrays()
             if left.size:
 
-                def from_reservoir(size: int, rng: np.random.Generator):
+                def from_reservoir(
+                    size: int, rng: np.random.Generator
+                ) -> Tuple[np.ndarray, np.ndarray]:
                     positions = rng.integers(0, left.size, size=size)
                     return left[positions], right[positions]
 

@@ -28,10 +28,26 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ValidationError
 from repro.rng import RandomState, ensure_rng
+
+if TYPE_CHECKING:  # imported lazily: events is the bottom of the layer stack
+    from repro.streaming.estimator import StreamingEstimator
+    from repro.streaming.mutable_index import MutableLSHIndex
+    from repro.vectors.collection import VectorCollection
 
 VectorPayload = Union[Mapping[int, float], Sequence[float]]
 
@@ -129,7 +145,7 @@ class ChangeLog:
     @classmethod
     def from_collection(
         cls,
-        collection,
+        collection: "VectorCollection",
         *,
         checkpoint_every: int = 0,
         label_format: str = "after-{count}",
@@ -157,9 +173,9 @@ class ChangeLog:
     # ------------------------------------------------------------------
     def replay(
         self,
-        index,
+        index: "MutableLSHIndex",
         *,
-        estimator=None,
+        estimator: Optional["StreamingEstimator"] = None,
         threshold: Optional[float] = None,
         random_state: RandomState = None,
     ) -> List[Tuple[str, object]]:

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import pickle
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 from scipy import sparse
@@ -168,7 +168,7 @@ class MutableLSHTable:
     of updates between queries pay for one rebuild only.
     """
 
-    def __init__(self, family: LSHFamily):
+    def __init__(self, family: LSHFamily) -> None:
         self.family = family
         self._key_of: Dict[int, bytes] = {}
         self._members: Dict[bytes, List[int]] = {}
@@ -367,7 +367,9 @@ class MutableLSHTable:
         )
 
 
-def freeze_bucket_layout(buckets) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+def freeze_bucket_layout(
+    buckets: Iterable[Union[Sequence[int], np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Flatten an iterable of member lists into the SampleH CSR layout.
 
     Shared by :class:`MutableLSHTable` and the sharded merge layer
@@ -405,7 +407,9 @@ def collect_estimator_states(observers: Sequence[object]) -> List[Dict[str, obje
     return states
 
 
-def restore_estimator_states(index, states: Sequence[Mapping[str, object]]) -> List[object]:
+def restore_estimator_states(
+    index: "MutableLSHIndex", states: Sequence[Mapping[str, object]]
+) -> List[object]:
     """Reattach checkpointed estimators to a restored index (in order)."""
     from repro.streaming.estimator import StreamingEstimator
 
@@ -453,7 +457,7 @@ class MutableLSHIndex:
         family: Union[str, Type[LSHFamily]] = "cosine",
         random_state: RandomState = None,
         families: Optional[Sequence[LSHFamily]] = None,
-    ):
+    ) -> None:
         if num_tables < 1:
             raise ValidationError(f"num_tables (ℓ) must be >= 1, got {num_tables}")
         if dimension < 1:

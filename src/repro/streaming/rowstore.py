@@ -62,7 +62,7 @@ class RowStore:
     to size the map.
     """
 
-    def __init__(self, dimension: int):
+    def __init__(self, dimension: int) -> None:
         if dimension < 1:
             raise ValidationError(f"dimension must be >= 1, got {dimension}")
         self.dimension = int(dimension)

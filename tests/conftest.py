@@ -30,6 +30,47 @@ from repro.vectors import VectorCollection
 # of hanging the job; one implementation shared with benchmarks/conftest
 from benchmarks._helpers import hard_timeout_runtest_call as pytest_runtest_call  # noqa: E402,F401
 
+# ----------------------------------------------------------------------
+# runtime lockdep (REPRO_LOCKDEP=1): swap tracked lock wrappers into the
+# serving path for the whole suite, dump the observed lock-order graph at
+# session end, and fail the run on any potential-deadlock cycle.
+# Installed at import time — ahead of every fixture — because only
+# primitives constructed *after* install() are tracked.
+# ----------------------------------------------------------------------
+import os  # noqa: E402
+
+_LOCKDEP_STATE = None
+if os.environ.get("REPRO_LOCKDEP") == "1":
+    from repro.analysis import lockdep as _lockdep
+
+    _LOCKDEP_STATE = _lockdep.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _LOCKDEP_STATE is None:
+        return
+    import json
+
+    graph = _LOCKDEP_STATE.graph()
+    graph_path = os.environ.get("REPRO_LOCKDEP_GRAPH", "lockdep_graph.json")
+    with open(graph_path, "w", encoding="utf-8") as handle:
+        json.dump(graph, handle, indent=2, sort_keys=True)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    lines = [
+        f"lockdep: {len(graph['locks'])} lock(s), {graph['acquires']} "
+        f"acquire(s), {len(graph['edges'])} ordered edge(s) -> {graph_path}"
+    ]
+    lines += [f"lockdep CYCLE: {' -> '.join(cycle)}" for cycle in graph["cycles"]]
+    for line in lines:
+        if reporter is not None:
+            reporter.write_line(line)
+        else:
+            print(line)
+    if graph["cycles"]:
+        # a lock-order cycle is a potential deadlock even though this
+        # run survived it — fail the session
+        session.exitstatus = 1
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:

@@ -1,0 +1,368 @@
+"""Runtime lockdep harness: tracked primitives, order graph, report CLI.
+
+These tests drive :mod:`repro.analysis.lockdep` directly with a private
+``LockdepState`` — they never touch the global installed state, so they
+compose with a ``REPRO_LOCKDEP=1`` run of the whole suite (where the
+conftest hook owns the global graph).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lockdep
+from repro.analysis.concurrency import find_cycles
+from repro.analysis.lockdep import (
+    LockdepState,
+    ThreadingFacade,
+    TrackedCondition,
+    TrackedLock,
+    TrackedRLock,
+    TrackedSemaphore,
+    build_lockdep_report_parser,
+    run_lockdep_report_from_args,
+    unexplained_edges,
+)
+from repro.obs.metrics import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_lock(state: LockdepState, name: str) -> TrackedLock:
+    return TrackedLock(state, threading.Lock(), name)
+
+
+# ----------------------------------------------------------------------
+# order-graph recording
+# ----------------------------------------------------------------------
+class TestOrderGraph:
+    def test_nested_acquire_records_edge(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+        with a:
+            with b:
+                pass
+        assert ("A", "B") in state.edges()
+        assert ("B", "A") not in state.edges()
+        assert state.cycles() == []
+
+    def test_inversion_creates_cycle(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = state.cycles()
+        assert cycles, "A->B followed by B->A must form a cycle"
+        assert set(cycles[0]) >= {"A", "B"}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        orders=st.lists(st.booleans(), min_size=2, max_size=12).filter(
+            lambda seq: True in seq and False in seq
+        )
+    )
+    def test_two_lock_inversion_always_detected(self, orders):
+        """However the nestings are interleaved, one inversion = a cycle.
+
+        Each draw is a sequence of nested two-lock critical sections:
+        ``True`` nests A->B, ``False`` nests B->A.  Any sequence with
+        both orders present must be reported as a potential deadlock —
+        even though no single sequential run ever deadlocks.
+        """
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+        for a_first in orders:
+            outer, inner = (a, b) if a_first else (b, a)
+            with outer:
+                with inner:
+                    pass
+        assert state.cycles(), f"inversion missed for order sequence {orders}"
+
+    def test_cross_thread_ordering_also_detected(self):
+        """Inverted nestings on two different threads still form a cycle."""
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+
+        def invert():
+            with b:
+                with a:
+                    pass
+
+        with a:
+            with b:
+                pass
+        worker = threading.Thread(target=invert, name="lockdep-invert")
+        worker.start()
+        worker.join()
+        assert state.cycles()
+        stats = state.edges()[("B", "A")]
+        assert stats.example_thread == "lockdep-invert"
+
+    def test_reentrant_rlock_records_no_self_edge(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        r = TrackedRLock(state, threading.RLock(), "R")
+        with r:
+            with r:
+                pass
+        assert ("R", "R") not in state.edges()
+        assert state.cycles() == []
+
+    def test_trylock_edges_excluded_from_cycles(self):
+        """A failed-backoff path cannot wedge: no cycle, but the edge
+        still shows for the static-subgraph comparison."""
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+        with a:
+            with b:
+                pass
+        with b:
+            assert a.acquire(blocking=False)
+            a.release()
+        assert state.cycles() == []
+        assert state.edges()[("B", "A")].trylock == 1
+        assert state.edges()[("B", "A")].blocking == 0
+        assert ("B", "A") in state.edges(include_trylock=True)
+        assert ("B", "A") not in state.edges(include_trylock=False)
+
+    def test_condition_wait_releases_held_set(self):
+        """While parked in ``wait()`` the lock is NOT held: acquisitions
+        made by the woken path must not order against it."""
+        state = LockdepState(metrics=MetricsRegistry())
+        cond = TrackedCondition(state, threading.Condition(), "C")
+        other = make_lock(state, "L")
+        ready = threading.Event()
+
+        def waiter():
+            with cond:
+                ready.set()
+                cond.wait(timeout=5.0)
+                # re-acquired: a fresh held segment begins
+                assert state.held_names() == ["C"]
+
+        worker = threading.Thread(target=waiter, name="lockdep-waiter")
+        worker.start()
+        assert ready.wait(timeout=5.0)
+        with other:  # acquired while the waiter sits inside wait()
+            with cond:
+                cond.notify_all()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        # the waiter never held C while L was taken — no C->L edge from
+        # this interleaving, only the deliberate L->C nesting above
+        assert ("C", "L") not in state.edges()
+        assert ("L", "C") in state.edges()
+
+    def test_cross_thread_semaphore_release_pops_acquirer_entry(self):
+        """A slot released by another thread (Timer-style hand-off) must
+        retire the acquirer's stack entry — otherwise every later
+        acquisition on the acquiring thread hangs phantom edges off it."""
+        state = LockdepState(metrics=MetricsRegistry())
+        sem = TrackedSemaphore(state, threading.BoundedSemaphore(1), "S")
+        lock = make_lock(state, "L")
+        assert sem.acquire()
+        releaser = threading.Thread(target=sem.release, name="lockdep-releaser")
+        releaser.start()
+        releaser.join()
+        assert state.held_names() == []
+        with lock:
+            pass
+        assert ("S", "L") not in state.edges()
+
+    def test_held_duration_histogram_observed(self):
+        registry = MetricsRegistry()
+        state = LockdepState(metrics=registry)
+        lock = make_lock(state, "Timed.L")
+        with lock:
+            time.sleep(0.002)
+        histogram = registry.histogram(
+            "lockdep_held_seconds",
+            buckets=lockdep.HELD_SECONDS_BUCKETS,
+            lock="Timed.L",
+        )
+        assert histogram.count == 1
+        assert histogram.sum > 0.0
+
+    def test_graph_dump_is_json_able(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        a, b = make_lock(state, "A"), make_lock(state, "B")
+        with a:
+            with b:
+                pass
+        graph = json.loads(json.dumps(state.graph()))
+        assert graph["locks"] == ["A", "B"]
+        assert graph["acquires"] == 2
+        assert graph["cycles"] == []
+        assert graph["edges"][0]["source"] == "A"
+        assert graph["edges"][0]["target"] == "B"
+
+
+# ----------------------------------------------------------------------
+# facade + install
+# ----------------------------------------------------------------------
+class TestFacade:
+    def test_facade_constructs_tracked_primitives(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        facade = ThreadingFacade(state)
+        assert isinstance(facade.Lock(), TrackedLock)
+        assert isinstance(facade.RLock(), TrackedRLock)
+        assert isinstance(facade.Condition(), TrackedCondition)
+        assert isinstance(facade.Semaphore(2), TrackedSemaphore)
+        assert isinstance(facade.BoundedSemaphore(1), TrackedSemaphore)
+        # everything else falls through to the real module
+        assert facade.Event is threading.Event
+        assert facade.current_thread is threading.current_thread
+
+    def test_condition_unwraps_tracked_lock_argument(self):
+        """Condition(tracked_lock) shares the *inner* primitive — one
+        acquisition, one held entry, no double tracking."""
+        state = LockdepState(metrics=MetricsRegistry())
+        facade = ThreadingFacade(state)
+        lock = facade.Lock()
+        cond = facade.Condition(lock)
+        assert cond._inner._lock is lock._inner
+        with cond:
+            assert state.held_names() == [cond.lockdep_name]
+            # the shared primitive really is taken
+            assert not lock._inner.acquire(blocking=False)
+
+    def test_derived_names_use_class_and_attribute(self):
+        state = LockdepState(metrics=MetricsRegistry())
+        facade = ThreadingFacade(state)
+
+        class Owner:
+            def __init__(self):
+                self.my_lock = facade.Lock()
+
+        owner = Owner()
+        assert owner.my_lock.lockdep_name == "Owner.my_lock"
+
+    def test_install_is_scoped_and_reversible(self):
+        if lockdep.active_state() is not None:
+            pytest.skip("global lockdep install active (REPRO_LOCKDEP=1)")
+        import repro.serve.server as server_module
+
+        original = server_module.threading
+        state = lockdep.install(["repro.serve.server"])
+        try:
+            assert lockdep.active_state() is state
+            assert isinstance(server_module.threading, ThreadingFacade)
+            # idempotent: second install returns the same state
+            assert lockdep.install(["repro.serve.server"]) is state
+        finally:
+            lockdep.uninstall()
+        assert server_module.threading is original
+        assert lockdep.active_state() is None
+
+
+# ----------------------------------------------------------------------
+# report CLI: observed graph vs static model
+# ----------------------------------------------------------------------
+def write_graph(tmp_path: Path, edges, locks=None) -> Path:
+    path = tmp_path / "graph.json"
+    path.write_text(
+        json.dumps(
+            {
+                "locks": locks or sorted({n for e in edges for n in e[:2]}),
+                "acquires": len(edges),
+                "edges": [
+                    {
+                        "source": source,
+                        "target": target,
+                        "blocking": blocking,
+                        "trylock": 0,
+                        "example_thread": "t",
+                    }
+                    for source, target, blocking in edges
+                ],
+                "cycles": [],
+            }
+        ),
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestReport:
+    def run_report(self, graph_path: Path, *, fmt: str = "text"):
+        parser = build_lockdep_report_parser()
+        args = parser.parse_args(
+            ["--graph", str(graph_path), "--src", str(REPO_ROOT / "src"), "--format", fmt]
+        )
+        return run_lockdep_report_from_args(args)
+
+    def test_observed_graph_is_static_subgraph(self, tmp_path, capsys):
+        """The two real runtime edges are both derivable statically."""
+        path = write_graph(
+            tmp_path,
+            [
+                ("EstimationServer._estimate_slots", "EstimationServer._read_serialiser", 1),
+                ("EstimationServer._estimate_slots", "GenerationManager._cond", 1),
+            ],
+        )
+        assert self.run_report(path) == 0
+        assert "subgraph of the static model" in capsys.readouterr().out
+
+    def test_unexplained_edge_fails(self, tmp_path, capsys):
+        path = write_graph(
+            tmp_path,
+            [("EstimationServer._conn_lock", "GenerationManager._cond", 1)],
+        )
+        assert self.run_report(path) == 1
+        assert "NOT IN STATIC MODEL" in capsys.readouterr().out
+
+    def test_cycle_fails_json(self, tmp_path, capsys):
+        path = write_graph(tmp_path, [("A.x", "B.y", 1), ("B.y", "A.x", 1)])
+        assert self.run_report(path, fmt="json") == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False
+        assert verdict["cycles"]
+
+    def test_trylock_only_inversion_is_not_a_cycle(self, tmp_path):
+        path = write_graph(tmp_path, [("A.x", "B.y", 1), ("B.y", "A.x", 0)])
+        # blocking=0 on the inverted edge: backoff path, no cycle — but
+        # both edges must still be explained by the static model
+        assert self.run_report(path) == 1  # A.x/B.y aren't in src's model
+
+    def test_unreadable_graph_exits_two(self, tmp_path):
+        assert self.run_report(tmp_path / "missing.json") == 2
+
+    def test_unexplained_edges_helper(self):
+        observed = [
+            ("EstimationServer._estimate_slots", "GenerationManager._cond"),
+            ("Nope.l1", "Nope.l2"),
+        ]
+        extra = unexplained_edges(observed, [str(REPO_ROOT / "src")])
+        assert extra == [("Nope.l1", "Nope.l2")]
+
+
+# ----------------------------------------------------------------------
+# cycle detection helper
+# ----------------------------------------------------------------------
+class TestFindCycles:
+    def test_acyclic(self):
+        assert find_cycles([("A", "B"), ("B", "C"), ("A", "C")]) == []
+
+    def test_two_cycle_canonical_rotation(self):
+        cycles = find_cycles([("B", "A"), ("A", "B")])
+        assert cycles == [["A", "B", "A"]]
+
+    def test_three_cycle(self):
+        cycles = find_cycles([("A", "B"), ("B", "C"), ("C", "A")])
+        assert cycles == [["A", "B", "C", "A"]]
+
+    def test_disjoint_cycles_both_reported(self):
+        cycles = find_cycles(
+            [("A", "B"), ("B", "A"), ("X", "Y"), ("Y", "X"), ("A", "X")]
+        )
+        assert len(cycles) == 2

@@ -728,3 +728,40 @@ class TestServerValidation:
                     client.ingest([])
         finally:
             server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# lock-order regression: the shutdown protocol's ordering contract
+# ----------------------------------------------------------------------
+class TestLockOrderRegression:
+    @pytest.mark.timeout(60)
+    def test_conn_lock_and_inflight_cond_are_never_nested(self):
+        """Shutdown drains in-flight requests (``_inflight_cond``) and
+        closes connections (``_conn_lock``) as *sequential* critical
+        sections.  Nesting them — in either direction — would impose an
+        ordering constraint on every handler thread; this pins the
+        contract at runtime by running a full serve lifecycle under
+        tracked locks and asserting neither edge ever appears.
+        """
+        from repro.analysis import lockdep
+
+        state = lockdep.active_state()
+        installed_here = state is None
+        if installed_here:
+            state = lockdep.install()
+        try:
+            server = EstimationServer(_config(), max_estimates=2).start()
+            try:
+                with ServeClient(server.address) as client:
+                    client.ingest(_events(40))
+                    client.estimate(THRESHOLD, seed=7)
+                    client.flush()
+            finally:
+                server.shutdown()  # the sequence under regression
+        finally:
+            if installed_here:
+                lockdep.uninstall()
+        edges = state.edges()
+        assert ("EstimationServer._inflight_cond", "EstimationServer._conn_lock") not in edges
+        assert ("EstimationServer._conn_lock", "EstimationServer._inflight_cond") not in edges
+        assert state.cycles() == []
