@@ -1,0 +1,1525 @@
+"""Snapshot-schema flow analysis: static state-dict contracts + runtime witness.
+
+Every durability feature in this repo — streaming restore, shard
+migration, cluster snapshots, serve epoch handoff — rides on hand-written
+``to_state``/``from_state`` dict contracts.  Until now their only guard
+was end-to-end bit-identity tests: a key written but never read (or read
+through a silent ``.get`` default) restores *plausibly wrong* state
+without failing anything.  This module extracts those contracts from the
+AST and checks them project-wide; it is also the machine-readable schema
+catalogue the ROADMAP's wire-format migration needs before a structured
+binary codec can replace framed pickle.
+
+Static model
+------------
+:func:`build_schema_model` walks every class (and ``*_state`` /
+``*_from_state`` module-function pair) and records, per **writer**
+(``to_state`` / ``state`` / ``snapshot``), the set of keys it emits —
+dict-literal keys, ``state["k"] = v`` stores, ``**nested`` merges, and
+whether each key is written unconditionally — and per **reader**
+(``from_state`` / ``restore`` / ``load_state``) the set of keys it
+consumes: ``state["k"]`` subscripts, ``state.get("k", default)``, and
+``"k" in state`` membership probes.  Reader extraction is
+interprocedural: the state variable is followed through same-class
+helper methods and module-level helpers (``cls._unwrap_…(state)``,
+``_check_state(state, kind)``), so contracts split across private
+helpers are still seen whole.  Readers are paired with the nearest
+writer up the inheritance chain (``ClusterCoordinator.from_state`` reads
+the schema ``ShardedMutableIndex.to_state`` writes).
+
+Three reprolint rules ride on the model:
+
+* **R011 schema-parity** — a key written but never read by the paired
+  reader is silent data loss on restore; a key read without a default
+  (and without a membership guard) that the writer never emits is a
+  latent ``KeyError``.
+* **R012 default-drift** — ``state.get("k", default)`` where the paired
+  writer *always* emits ``"k"`` masks the contract: if the writer ever
+  drops the key, restores silently fall back to the default.  Genuine
+  version-compat defaults carry a pragma naming the version that lacked
+  the key.
+* **R013 plain-data discipline** — state-dict values must bottom out in
+  JSON/numpy-plain types or a nested ``to_state()``-style call.
+  Arbitrary objects in state dicts are exactly what blocks the
+  pickle-free codec.  The check is evidence-based: only values the
+  analyzer can *show* are non-plain (a call to a non-allowlisted
+  constructor, an attribute whose annotation names a project class) are
+  flagged; unprovable values pass.
+
+Runtime witness
+---------------
+Mirroring the lockdep harness, ``REPRO_SCHEMA=1`` makes the test-suite
+conftest call :func:`install_witness`, which wraps every writer/reader
+on the snapshot-bearing classes: writers record the top-level keys of
+the dict they return, readers receive their state argument wrapped in a
+key-recording mapping proxy.  ``repro schema-report`` then asserts the
+*observed* key-sets are a subset of the *static* model — an unexplained
+key means the extractor lost a flow path — and emits the schema
+inventory as a versioned JSON artifact for the wire-format PR to
+consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import functools
+import importlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.engine import Finding, Project, Rule, SourceModule
+from repro.analysis.rules import dotted_name
+
+#: method names that *produce* a state dict
+WRITER_NAMES: Tuple[str, ...] = ("to_state", "state", "snapshot")
+#: method names that *consume* a state dict
+READER_NAMES: Tuple[str, ...] = ("from_state", "restore", "load_state")
+
+#: value kinds, ordered from best to worst evidence
+KIND_PLAIN = "plain"
+KIND_NESTED = "nested"
+KIND_UNKNOWN = "unknown"
+KIND_OPAQUE = "opaque"
+
+_KIND_ORDER = (KIND_PLAIN, KIND_NESTED, KIND_UNKNOWN, KIND_OPAQUE)
+
+#: bare callables that coerce their argument to a plain scalar
+_PLAIN_CALLS = {
+    "int", "float", "bool", "str", "bytes", "len", "abs", "round",
+    "min", "max", "sum", "repr", "ord", "chr",
+}
+#: container constructors: plainness is the plainness of the payload
+_COERCE_CALLS = {"list", "tuple", "dict", "sorted", "set", "frozenset"}
+#: zero-argument-method spellings that return plain data
+_PLAIN_METHODS = {"tolist", "to_dict", "item", "hex", "decode", "isoformat"}
+#: method names that delegate to another component's schema
+_NESTED_METHODS = {"to_state", "state", "bucket_state"}
+#: annotations considered plain (JSON/numpy-plain leaf types)
+_PLAIN_TYPES = {"int", "float", "bool", "str", "bytes", "None", "ndarray", "generic"}
+#: generic containers whose plainness is their type arguments'
+_PLAIN_CONTAINERS = {
+    "Optional", "Union", "List", "Tuple", "Dict", "Set", "FrozenSet",
+    "Sequence", "Mapping", "MutableMapping", "Iterable", "Collection",
+    "list", "tuple", "dict", "set", "frozenset",
+}
+#: whole-state uses that do not leak the mapping to unknown code
+_SAFE_WHOLE_USES = {"isinstance", "len", "repr", "type", "bool"}
+
+
+def _worst(kinds: Iterable[str]) -> str:
+    """The weakest evidence level among ``kinds`` (empty → plain)."""
+    worst = KIND_PLAIN
+    for kind in kinds:
+        if _KIND_ORDER.index(kind) > _KIND_ORDER.index(worst):
+            worst = kind
+    return worst
+
+
+# ----------------------------------------------------------------------
+# model dataclasses
+# ----------------------------------------------------------------------
+@dataclass
+class KeyWrite:
+    """One key a writer emits."""
+
+    key: str
+    always: bool
+    kind: str
+    node: ast.AST
+    #: best-effort ``Owner.method`` the nested value delegates to
+    ref: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"always": self.always, "kind": self.kind}
+        if self.ref is not None:
+            entry["ref"] = self.ref
+        return entry
+
+
+@dataclass
+class KeyRead:
+    """One key a reader consumes."""
+
+    key: str
+    #: ``.get`` calls and membership-guarded subscripts cannot KeyError
+    guarded: bool
+    #: an explicit fallback value was supplied (``.get(k, default)``)
+    has_default: bool
+    node: ast.AST
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"guarded": self.guarded, "default": self.has_default}
+
+
+@dataclass
+class WriterSchema:
+    """The key-set one writer method emits."""
+
+    owner: str
+    method: str
+    module: SourceModule
+    node: ast.AST
+    writes: Dict[str, KeyWrite] = field(default_factory=dict)
+    #: True when a flow path could not be resolved (``**unknown`` merge,
+    #: a non-literal return): the key-set is a lower bound, so absence
+    #: of a key proves nothing
+    open: bool = False
+    #: True when the method only re-emits another writer of the same
+    #: class (``pickle.dump(self.to_state(), …)``) — no schema of its own
+    delegator: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.owner}.{self.method}"
+
+
+@dataclass
+class ReaderSchema:
+    """The key-set one reader method consumes (helpers included)."""
+
+    owner: str
+    method: str
+    module: SourceModule
+    node: ast.AST
+    reads: List[KeyRead] = field(default_factory=list)
+    #: True when the whole mapping escapes (iterated, ``dict(state)``,
+    #: passed to unresolvable code): the read-set is a lower bound
+    open: bool = False
+    #: source text of the state parameter's annotation, if any
+    param_annotation: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.owner}.{self.method}"
+
+    def read_keys(self) -> Set[str]:
+        return {read.key for read in self.reads}
+
+
+@dataclass
+class SchemaPair:
+    """A reader resolved against the writer whose schema it consumes."""
+
+    writer: WriterSchema
+    reader: ReaderSchema
+
+
+class SchemaModel:
+    """Every extracted writer/reader plus the resolved pairs."""
+
+    def __init__(
+        self,
+        writers: Dict[str, WriterSchema],
+        readers: Dict[str, ReaderSchema],
+        pairs: List[SchemaPair],
+    ) -> None:
+        self.writers = writers
+        self.readers = readers
+        self.pairs = pairs
+
+    def entry_keys(self, name: str) -> Optional[Tuple[Set[str], bool]]:
+        """(known key-set, open?) for ``Owner.method``, if modelled."""
+        writer = self.writers.get(name)
+        if writer is not None:
+            return set(writer.writes), writer.open or writer.delegator
+        reader = self.readers.get(name)
+        if reader is not None:
+            return reader.read_keys(), reader.open
+        return None
+
+    def to_inventory(self) -> Dict[str, Any]:
+        """The versioned schema-inventory JSON (wire-format substrate)."""
+        entries: Dict[str, Any] = {}
+        for writer in self.writers.values():
+            entries[writer.name] = {
+                "role": "writer",
+                "module": writer.module.path,
+                "line": getattr(writer.node, "lineno", 1),
+                "open": writer.open,
+                "delegator": writer.delegator,
+                "keys": {
+                    key: write.to_dict()
+                    for key, write in sorted(writer.writes.items())
+                },
+            }
+        for reader in self.readers.values():
+            merged: Dict[str, Dict[str, Any]] = {}
+            for read in reader.reads:
+                entry = merged.setdefault(
+                    read.key, {"guarded": True, "default": False}
+                )
+                # one unguarded read makes the key load-bearing
+                entry["guarded"] = entry["guarded"] and read.guarded
+                entry["default"] = entry["default"] or read.has_default
+            entries[reader.name] = {
+                "role": "reader",
+                "module": reader.module.path,
+                "line": getattr(reader.node, "lineno", 1),
+                "open": reader.open,
+                "keys": {key: merged[key] for key in sorted(merged)},
+            }
+        return {
+            "version": 1,
+            "entries": entries,
+            "pairs": sorted(
+                [pair.writer.name, pair.reader.name] for pair in self.pairs
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# class indexing (shared with the value classifier)
+# ----------------------------------------------------------------------
+class _ClassInfo:
+    """One class definition plus the attribute/property evidence in it."""
+
+    def __init__(self, module: SourceModule, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.bases = [dotted_name(base) for base in node.bases]
+        #: attr → every ``self.attr = expr`` / ``self.attr: T = expr``
+        self.attr_exprs: Dict[str, List[ast.AST]] = {}
+        #: attr → annotation nodes seen on assignments
+        self.attr_annotations: Dict[str, List[ast.AST]] = {}
+        #: property name → (return annotation, return expressions)
+        self.properties: Dict[str, Tuple[Optional[ast.AST], List[ast.AST]]] = {}
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            self.methods[item.name] = item
+            decorators = {dotted_name(d) for d in item.decorator_list}
+            if "property" in decorators:
+                returns = [
+                    stmt.value
+                    for stmt in ast.walk(item)
+                    if isinstance(stmt, ast.Return) and stmt.value is not None
+                ]
+                self.properties[item.name] = (item.returns, returns)
+            params = {
+                arg.arg: arg.annotation
+                for arg in item.args.args + item.args.kwonlyargs
+                if arg.annotation is not None
+            }
+            for stmt in ast.walk(item):
+                target: Optional[ast.AST] = None
+                value: Optional[ast.AST] = None
+                annotation: Optional[ast.AST] = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, annotation = stmt.target, stmt.value, stmt.annotation
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    if value is not None:
+                        self.attr_exprs.setdefault(target.attr, []).append(value)
+                        # `self.x = param` inherits the parameter's annotation
+                        if isinstance(value, ast.Name) and value.id in params:
+                            self.attr_annotations.setdefault(target.attr, []).append(
+                                params[value.id]
+                            )
+                    if annotation is not None:
+                        self.attr_annotations.setdefault(target.attr, []).append(
+                            annotation
+                        )
+
+    def method_kind(self, name: str) -> str:
+        """``"instance"`` / ``"classmethod"`` / ``"staticmethod"``."""
+        node = self.methods.get(name)
+        if node is None:
+            return "instance"
+        decorators = {dotted_name(d) for d in node.decorator_list}
+        if "staticmethod" in decorators:
+            return "staticmethod"
+        if "classmethod" in decorators:
+            return "classmethod"
+        return "instance"
+
+
+class _ProjectIndex:
+    """Class and module-function lookup across the whole lint run."""
+
+    def __init__(self, project: Project) -> None:
+        self.classes: Dict[str, _ClassInfo] = {}
+        self.module_functions: Dict[str, Dict[str, ast.FunctionDef]] = {}
+        #: module path → module-level assignments (type-alias resolution)
+        self.module_assigns: Dict[str, Dict[str, ast.AST]] = {}
+        for module in project:
+            functions: Dict[str, ast.FunctionDef] = {}
+            assigns: Dict[str, ast.AST] = {}
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    # first definition wins on (unlikely) name collisions
+                    self.classes.setdefault(node.name, _ClassInfo(module, node))
+                elif isinstance(node, ast.FunctionDef):
+                    functions[node.name] = node
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        assigns[target.id] = node.value
+            self.module_functions[module.path] = functions
+            self.module_assigns[module.path] = assigns
+
+    def resolve_writer_class(self, info: _ClassInfo, name: str) -> Optional[str]:
+        """The class (self or nearest base) defining writer ``name``."""
+        seen: Set[str] = set()
+        current: Optional[_ClassInfo] = info
+        while current is not None and current.name not in seen:
+            seen.add(current.name)
+            if name in current.methods:
+                return current.name
+            next_info: Optional[_ClassInfo] = None
+            for base in current.bases:
+                if base is None:
+                    continue
+                candidate = self.classes.get(base.rsplit(".", 1)[-1])
+                if candidate is not None:
+                    next_info = candidate
+                    break
+            current = next_info
+        return None
+
+
+# ----------------------------------------------------------------------
+# value classification (R013 evidence)
+# ----------------------------------------------------------------------
+class _ValueClassifier:
+    """Evidence-based plain/nested/opaque classification of write values."""
+
+    _MAX_DEPTH = 6
+
+    def __init__(self, index: _ProjectIndex, module: SourceModule) -> None:
+        self._index = index
+        self._module = module
+
+    def classify(
+        self,
+        expr: ast.AST,
+        *,
+        info: Optional[_ClassInfo],
+        local_exprs: Mapping[str, List[ast.AST]],
+        depth: int = 0,
+        seen: Optional[Set[str]] = None,
+    ) -> Tuple[str, Optional[str]]:
+        """(kind, nested-ref) for one value expression."""
+        seen = seen or set()
+        if depth > self._MAX_DEPTH:
+            return KIND_UNKNOWN, None
+
+        def recurse(child: ast.AST) -> Tuple[str, Optional[str]]:
+            return self.classify(
+                child, info=info, local_exprs=local_exprs, depth=depth + 1, seen=seen
+            )
+
+        if isinstance(expr, ast.Constant) or isinstance(expr, ast.JoinedStr):
+            return KIND_PLAIN, None
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            return _worst(recurse(el)[0] for el in expr.elts), None
+        if isinstance(expr, ast.Dict):
+            kinds = [recurse(v)[0] for v in expr.values if v is not None]
+            kinds += [recurse(k)[0] for k in expr.keys if k is not None]
+            return _worst(kinds), None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return recurse(expr.elt)
+        if isinstance(expr, ast.DictComp):
+            return _worst((recurse(expr.key)[0], recurse(expr.value)[0])), None
+        if isinstance(expr, ast.Starred):
+            return recurse(expr.value)
+        if isinstance(expr, ast.IfExp):
+            body_kind, body_ref = recurse(expr.body)
+            else_kind, else_ref = recurse(expr.orelse)
+            return _worst((body_kind, else_kind)), body_ref or else_ref
+        if isinstance(expr, ast.BoolOp):
+            return _worst(recurse(v)[0] for v in expr.values), None
+        if isinstance(expr, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            return KIND_PLAIN, None  # arithmetic/comparison yields scalars
+        if isinstance(expr, ast.Call):
+            return self._classify_call(expr, recurse)
+        if isinstance(expr, ast.Attribute):
+            return self._classify_attribute(expr, info, depth, seen, local_exprs)
+        if isinstance(expr, ast.Name):
+            if expr.id in seen:
+                return KIND_UNKNOWN, None
+            seen.add(expr.id)
+            candidates = local_exprs.get(expr.id, [])
+            if not candidates:
+                return KIND_UNKNOWN, None
+            results = [recurse(candidate) for candidate in candidates]
+            refs = [ref for _kind, ref in results if ref is not None]
+            return _worst(kind for kind, _ref in results), (refs[0] if refs else None)
+        if isinstance(expr, ast.Subscript):
+            return KIND_UNKNOWN, None
+        if isinstance(expr, ast.Lambda):
+            return KIND_OPAQUE, None
+        return KIND_UNKNOWN, None
+
+    # -- helpers --------------------------------------------------------
+    def _classify_call(
+        self,
+        call: ast.Call,
+        recurse: Callable[[ast.AST], Tuple[str, Optional[str]]],
+    ) -> Tuple[str, Optional[str]]:
+        name = dotted_name(call.func)
+        if name is not None:
+            bare = name.rsplit(".", 1)[-1]
+            if name in _PLAIN_CALLS or bare in _PLAIN_CALLS and "." not in name:
+                return KIND_PLAIN, None
+            if name in _COERCE_CALLS:
+                if not call.args:
+                    return KIND_PLAIN, None
+                return recurse(call.args[0])
+            if name.startswith(("np.", "numpy.")):
+                return KIND_PLAIN, None  # numpy results are wire-plain buffers
+            if "." not in name and (
+                name.endswith("_state") or name.endswith("_states")
+            ):
+                return KIND_NESTED, name
+        if isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            if method in _PLAIN_METHODS:
+                return KIND_PLAIN, None
+            if method in _NESTED_METHODS:
+                return KIND_NESTED, self._nested_ref(call.func, method)
+            return KIND_OPAQUE, None
+        return KIND_OPAQUE, None
+
+    def _nested_ref(self, func: ast.Attribute, method: str) -> Optional[str]:
+        """Best-effort ``Owner.method`` for ``self._attr.to_state()``."""
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            for info in self._index.classes.values():
+                if info.module is not self._module:
+                    continue
+                for expr in info.attr_exprs.get(receiver.attr, []):
+                    if isinstance(expr, ast.Call):
+                        ctor = dotted_name(expr.func)
+                        if ctor is not None:
+                            owner = ctor.rsplit(".", 1)[-1]
+                            if owner in self._index.classes:
+                                return f"{owner}.{method}"
+        return None
+
+    def _classify_attribute(
+        self,
+        expr: ast.Attribute,
+        info: Optional[_ClassInfo],
+        depth: int,
+        seen: Set[str],
+        local_exprs: Mapping[str, List[ast.AST]],
+    ) -> Tuple[str, Optional[str]]:
+        if not (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and info is not None
+        ):
+            return KIND_UNKNOWN, None
+        attr = expr.attr
+        marker = f"self.{attr}"
+        if marker in seen:
+            return KIND_UNKNOWN, None
+        seen.add(marker)
+        kinds: List[str] = []
+        if attr in info.properties:
+            annotation, returns = info.properties[attr]
+            if annotation is not None:
+                kinds.append(self.annotation_kind(annotation))
+            else:
+                kinds.extend(
+                    self.classify(
+                        value, info=info, local_exprs={}, depth=depth + 1, seen=seen
+                    )[0]
+                    for value in returns
+                )
+        for annotation in info.attr_annotations.get(attr, []):
+            kinds.append(self.annotation_kind(annotation))
+        for value in info.attr_exprs.get(attr, []):
+            kinds.append(
+                self.classify(
+                    value, info=info, local_exprs={}, depth=depth + 1, seen=seen
+                )[0]
+            )
+        if not kinds:
+            return KIND_UNKNOWN, None
+        if KIND_OPAQUE in kinds:
+            return KIND_OPAQUE, None
+        if all(kind == KIND_PLAIN for kind in kinds):
+            return KIND_PLAIN, None
+        return KIND_UNKNOWN, None
+
+    def annotation_kind(self, annotation: ast.AST, depth: int = 0) -> str:
+        """Plainness of a type annotation (project classes are opaque)."""
+        if depth > self._MAX_DEPTH:
+            return KIND_UNKNOWN
+        if isinstance(annotation, ast.Constant):
+            if annotation.value is None:
+                return KIND_PLAIN
+            return KIND_UNKNOWN  # string annotations: out of scope
+        if isinstance(annotation, ast.BinOp):  # X | Y unions
+            return _worst(
+                (
+                    self.annotation_kind(annotation.left, depth + 1),
+                    self.annotation_kind(annotation.right, depth + 1),
+                )
+            )
+        if isinstance(annotation, ast.Subscript):
+            base = dotted_name(annotation.value)
+            tail = base.rsplit(".", 1)[-1] if base else ""
+            if tail == "Literal":
+                return KIND_PLAIN
+            if tail in _PLAIN_CONTAINERS:
+                inner = annotation.slice
+                elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+                return _worst(
+                    self.annotation_kind(element, depth + 1) for element in elements
+                )
+            if tail in self._index.classes:
+                return KIND_OPAQUE
+            return KIND_UNKNOWN
+        name = dotted_name(annotation)
+        if name is None:
+            return KIND_UNKNOWN
+        tail = name.rsplit(".", 1)[-1]
+        if tail in _PLAIN_TYPES:
+            return KIND_PLAIN
+        if tail in self._index.classes:
+            return KIND_OPAQUE
+        alias = self._index.module_assigns.get(self._module.path, {}).get(tail)
+        if alias is not None:
+            return self.annotation_kind(alias, depth + 1)
+        return KIND_UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# writer extraction
+# ----------------------------------------------------------------------
+def _statement_conditional(func: ast.FunctionDef, target: ast.AST) -> bool:
+    """Whether ``target`` sits under control flow inside ``func``."""
+    conditional_nodes = (ast.If, ast.For, ast.While, ast.Try, ast.ExceptHandler)
+
+    def walk(node: ast.AST, conditional: bool) -> Optional[bool]:
+        if node is target:
+            return conditional
+        for child in ast.iter_child_nodes(node):
+            found = walk(child, conditional or isinstance(node, conditional_nodes))
+            if found is not None:
+                return found
+        return None
+
+    result = walk(func, False)
+    return bool(result)
+
+
+def _extract_writer(
+    module: SourceModule,
+    owner: str,
+    func: ast.FunctionDef,
+    classifier: _ValueClassifier,
+    info: Optional[_ClassInfo],
+) -> WriterSchema:
+    schema = WriterSchema(owner=owner, method=func.name, module=module, node=func)
+    local_exprs: Dict[str, List[ast.AST]] = {}
+    dict_vars: Dict[str, ast.Dict] = {}
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                local_exprs.setdefault(target.id, []).append(stmt.value)
+                if isinstance(stmt.value, ast.Dict):
+                    dict_vars[target.id] = stmt.value
+
+    def is_own_writer_call(expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id in ("self", "cls")
+            and expr.func.attr in WRITER_NAMES
+        )
+
+    def add_literal(literal: ast.Dict, always: bool) -> None:
+        for key_node, value_node in zip(literal.keys, literal.values):
+            if key_node is None:  # ``**merge``
+                if (
+                    isinstance(value_node, ast.Name)
+                    and value_node.id in dict_vars
+                ):
+                    add_literal(dict_vars[value_node.id], always)
+                else:
+                    schema.open = True
+                continue
+            if not (
+                isinstance(key_node, ast.Constant)
+                and isinstance(key_node.value, str)
+            ):
+                schema.open = True
+                continue
+            kind, ref = classifier.classify(
+                value_node, info=info, local_exprs=local_exprs
+            )
+            existing = schema.writes.get(key_node.value)
+            if existing is None:
+                schema.writes[key_node.value] = KeyWrite(
+                    key=key_node.value, always=always, kind=kind,
+                    node=value_node, ref=ref,
+                )
+            else:
+                existing.always = existing.always and always
+
+    # 1. returned dicts (directly or through a local variable)
+    sources: List[Tuple[ast.Dict, bool]] = []
+    returned_vars: Set[str] = set()
+    unresolved = False
+    delegated = False
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            value = stmt.value
+            if isinstance(value, ast.Dict):
+                sources.append((value, not _statement_conditional(func, stmt)))
+            elif isinstance(value, ast.Name) and value.id in dict_vars:
+                sources.append(
+                    (dict_vars[value.id], not _statement_conditional(func, stmt))
+                )
+                returned_vars.add(value.id)
+            elif is_own_writer_call(value):
+                delegated = True
+            else:
+                unresolved = True
+    # 2. no return: a dict handed straight to pickle/json dump (the
+    #    ``snapshot(path)`` convention) still defines the schema
+    if not sources and not unresolved and not delegated:
+        for call in ast.walk(func):
+            if not isinstance(call, ast.Call):
+                continue
+            name = dotted_name(call.func)
+            if name in ("pickle.dump", "json.dump") and call.args:
+                first = call.args[0]
+                if isinstance(first, ast.Dict):
+                    sources.append((first, True))
+                elif isinstance(first, ast.Name) and first.id in dict_vars:
+                    sources.append((dict_vars[first.id], True))
+                    returned_vars.add(first.id)
+                elif is_own_writer_call(first):
+                    delegated = True
+                else:
+                    unresolved = True
+    if delegated and not sources:
+        schema.delegator = True
+        return schema
+    if unresolved:
+        schema.open = True
+    if not sources:
+        schema.open = True
+        return schema
+    for literal, always in sources:
+        add_literal(literal, always and len(sources) == 1)
+    # 3. ``state["k"] = v`` stores on a returned dict variable
+    for stmt in ast.walk(func):
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in returned_vars
+        ):
+            continue
+        key_node = target.slice
+        if not (
+            isinstance(key_node, ast.Constant) and isinstance(key_node.value, str)
+        ):
+            schema.open = True
+            continue
+        kind, ref = classifier.classify(stmt.value, info=info, local_exprs=local_exprs)
+        always = not _statement_conditional(func, stmt)
+        existing = schema.writes.get(key_node.value)
+        if existing is None:
+            schema.writes[key_node.value] = KeyWrite(
+                key=key_node.value, always=always, kind=kind, node=stmt, ref=ref
+            )
+        else:
+            existing.always = existing.always and always
+    return schema
+
+
+# ----------------------------------------------------------------------
+# reader extraction (interprocedural)
+# ----------------------------------------------------------------------
+def _state_param(func: ast.FunctionDef) -> Optional[str]:
+    """The parameter carrying the state mapping, if identifiable."""
+    args = func.args.args + func.args.kwonlyargs
+    decorators = {dotted_name(d) for d in func.decorator_list}
+    if args and args[0].arg in ("self", "cls") and "staticmethod" not in decorators:
+        args = args[1:]
+    for arg in args:
+        if arg.arg in ("state", "snapshot", "payload"):
+            return arg.arg
+        if arg.annotation is not None:
+            rendered = ast.dump(arg.annotation)
+            if "Mapping" in rendered or "Dict" in rendered or "dict" in rendered:
+                return arg.arg
+    return None
+
+
+def _param_annotation_src(func: ast.FunctionDef, param: str) -> Optional[str]:
+    for arg in func.args.args + func.args.kwonlyargs:
+        if arg.arg == param and arg.annotation is not None:
+            return ast.unparse(arg.annotation)
+    return None
+
+
+def _extract_reader(
+    module: SourceModule,
+    owner: str,
+    func: ast.FunctionDef,
+    index: _ProjectIndex,
+    info: Optional[_ClassInfo],
+) -> ReaderSchema:
+    schema = ReaderSchema(owner=owner, method=func.name, module=module, node=func)
+    start_param = _state_param(func)
+    if start_param is not None:
+        schema.param_annotation = _param_annotation_src(func, start_param)
+    worklist: List[Tuple[ast.FunctionDef, Optional[str], Optional[_ClassInfo], SourceModule]] = [
+        (func, start_param, info, module)
+    ]
+    visited: Set[Tuple[int, str]] = set()
+    while worklist:
+        current, param, current_info, current_module = worklist.pop()
+        key = (id(current), param or "<loads>")
+        if key in visited:
+            continue
+        visited.add(key)
+        _scan_reader_body(
+            current, param, current_info, current_module, index, schema, worklist
+        )
+    return schema
+
+
+def _scan_reader_body(
+    func: ast.FunctionDef,
+    param: Optional[str],
+    info: Optional[_ClassInfo],
+    module: SourceModule,
+    index: _ProjectIndex,
+    schema: ReaderSchema,
+    worklist: List[Tuple[ast.FunctionDef, Optional[str], Optional[_ClassInfo], SourceModule]],
+) -> None:
+    tracked: Set[str] = set() if param is None else {param}
+    # locals revived from a snapshot file are state mappings too
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                if name in ("pickle.load", "pickle.loads", "json.load", "json.loads"):
+                    tracked.add(target.id)
+    if not tracked:
+        return
+
+    def is_tracked(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in tracked
+
+    membership_guarded: Set[str] = set()
+    reads: List[Tuple[str, bool, bool, ast.AST]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Compare):
+            # ``"k" in state`` — a guarded probe of key k
+            if (
+                len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                and is_tracked(node.comparators[0])
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+            ):
+                membership_guarded.add(node.left.value)
+                reads.append((node.left.value, True, False, node))
+        elif isinstance(node, ast.Subscript) and is_tracked(node.value):
+            if isinstance(node.ctx, ast.Store):
+                continue
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                reads.append((node.slice.value, False, False, node))
+            else:
+                schema.open = True  # dynamic key: read-set incomplete
+        elif isinstance(node, ast.Call):
+            func_node = node.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and is_tracked(func_node.value)
+            ):
+                if func_node.attr == "get" and node.args:
+                    key_node = node.args[0]
+                    if isinstance(key_node, ast.Constant) and isinstance(
+                        key_node.value, str
+                    ):
+                        reads.append(
+                            (key_node.value, True, len(node.args) > 1, node)
+                        )
+                    else:
+                        schema.open = True
+                elif func_node.attr in ("items", "keys", "values", "copy"):
+                    schema.open = True
+                else:
+                    schema.open = True  # unknown method on the mapping
+            else:
+                _follow_call(
+                    node, tracked, info, module, index, schema, worklist
+                )
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            iterable = node.iter
+            if is_tracked(iterable):
+                schema.open = True
+    for key, guarded, has_default, node in reads:
+        schema.reads.append(
+            KeyRead(
+                key=key,
+                guarded=guarded or key in membership_guarded,
+                has_default=has_default,
+                node=node,
+            )
+        )
+
+
+def _follow_call(
+    call: ast.Call,
+    tracked: Set[str],
+    info: Optional[_ClassInfo],
+    module: SourceModule,
+    index: _ProjectIndex,
+    schema: ReaderSchema,
+    worklist: List[Tuple[ast.FunctionDef, Optional[str], Optional[_ClassInfo], SourceModule]],
+) -> None:
+    """Follow the state mapping into same-class / same-module helpers."""
+    positions = [
+        position
+        for position, arg in enumerate(call.args)
+        if isinstance(arg, ast.Name) and arg.id in tracked
+    ]
+    starred = any(
+        isinstance(arg, ast.Starred)
+        and isinstance(arg.value, ast.Name)
+        and arg.value.id in tracked
+        for arg in call.args
+    )
+    keyword_hits = [
+        kw.arg
+        for kw in call.keywords
+        if isinstance(kw.value, ast.Name)
+        and kw.value.id in tracked
+        and kw.arg is not None
+    ]
+    if not positions and not keyword_hits and not starred:
+        return
+    if starred:
+        schema.open = True
+        return
+    func_node = call.func
+    callee: Optional[ast.FunctionDef] = None
+    callee_info: Optional[_ClassInfo] = info
+    callee_module = module
+    name = dotted_name(func_node)
+    if (
+        isinstance(func_node, ast.Attribute)
+        and isinstance(func_node.value, ast.Name)
+    ):
+        receiver = func_node.value.id
+        owner_info: Optional[_ClassInfo] = None
+        if receiver in ("self", "cls") and info is not None:
+            owner_info = info
+        elif receiver in index.classes:
+            owner_info = index.classes[receiver]
+        if owner_info is not None:
+            defining = index.resolve_writer_class(owner_info, func_node.attr)
+            if defining is not None:
+                callee_info = index.classes[defining]
+                callee = callee_info.methods[func_node.attr]
+                callee_module = callee_info.module
+    elif name is not None and "." not in name:
+        callee = index.module_functions.get(module.path, {}).get(name)
+        callee_info = None
+    if callee is None:
+        if name in _SAFE_WHOLE_USES:
+            return
+        schema.open = True  # the mapping escapes into unknown code
+        return
+    params = list(callee.args.args)
+    decorators = {dotted_name(d) for d in callee.decorator_list}
+    offset = 0
+    if params and params[0].arg in ("self", "cls") and "staticmethod" not in decorators:
+        # bound calls (self.m(…) / cls.m(…)) never pass the receiver
+        if isinstance(func_node, ast.Attribute) and isinstance(
+            func_node.value, ast.Name
+        ) and func_node.value.id in ("self", "cls"):
+            offset = 1
+        elif "classmethod" in decorators:
+            offset = 1
+    for position in positions:
+        target = position + offset
+        if target < len(params):
+            worklist.append(
+                (callee, params[target].arg, callee_info, callee_module)
+            )
+    for keyword in keyword_hits:
+        if any(arg.arg == keyword for arg in params + callee.args.kwonlyargs):
+            worklist.append((callee, keyword, callee_info, callee_module))
+
+
+# ----------------------------------------------------------------------
+# model assembly
+# ----------------------------------------------------------------------
+def build_schema_model(project: Project) -> SchemaModel:
+    """Extract every snapshot-schema writer/reader and resolve the pairs."""
+    cached = getattr(project, "_schema_model", None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    index = _ProjectIndex(project)
+    writers: Dict[str, WriterSchema] = {}
+    readers: Dict[str, ReaderSchema] = {}
+    for module in project:
+        classifier = _ValueClassifier(index, module)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = index.classes.get(node.name)
+                if info is None or info.node is not node:
+                    continue  # shadowed by an earlier same-named class
+                for item in node.body:
+                    if not isinstance(item, ast.FunctionDef):
+                        continue
+                    decorators = {dotted_name(d) for d in item.decorator_list}
+                    if "property" in decorators:
+                        continue
+                    if item.name in WRITER_NAMES:
+                        schema = _extract_writer(
+                            module, node.name, item, classifier, info
+                        )
+                        writers[schema.name] = schema
+                    elif item.name in READER_NAMES:
+                        reader = _extract_reader(
+                            module, node.name, item, index, info
+                        )
+                        readers[reader.name] = reader
+            elif isinstance(node, ast.FunctionDef):
+                if node.name.endswith("_from_state"):
+                    owner = module.path
+                    reader = _extract_reader(module, owner, node, index, None)
+                    readers[reader.name] = reader
+                elif node.name.endswith("_state"):
+                    schema = _extract_writer(module, module.path, node, classifier, None)
+                    writers[schema.name] = schema
+    pairs: List[SchemaPair] = []
+    for reader in readers.values():
+        writer = _paired_writer(reader, index, writers)
+        if writer is not None:
+            pairs.append(SchemaPair(writer=writer, reader=reader))
+    model = SchemaModel(writers, readers, pairs)
+    project._schema_model = model  # type: ignore[attr-defined]  # memo per lint run
+    return model
+
+
+def _paired_writer(
+    reader: ReaderSchema,
+    index: _ProjectIndex,
+    writers: Dict[str, WriterSchema],
+) -> Optional[WriterSchema]:
+    """The writer whose schema ``reader`` consumes, if resolvable."""
+    info = index.classes.get(reader.owner)
+    if info is not None:
+        for writer_name in WRITER_NAMES:
+            defining = index.resolve_writer_class(info, writer_name)
+            if defining is None:
+                continue
+            candidate = writers.get(f"{defining}.{writer_name}")
+            if candidate is not None and not candidate.delegator:
+                return candidate
+        return None
+    # module-function pair: <prefix>_from_state ↔ <prefix>_state
+    if reader.method.endswith("_from_state"):
+        prefix = reader.method[: -len("_from_state")]
+        return writers.get(f"{reader.module.path}.{prefix}_state")
+    return None
+
+
+# ----------------------------------------------------------------------
+# R011 / R012 / R013
+# ----------------------------------------------------------------------
+class SchemaParityRule(Rule):
+    """Writer/reader key-set parity for every snapshot schema.
+
+    A key written by ``to_state`` that the paired ``from_state`` never
+    touches is silent data loss: the restored object *looks* revived but
+    dropped part of its state on the floor.  A key read without a
+    default (and without an ``in``-guard) that the writer never emits is
+    a latent ``KeyError`` waiting for the first real restore.  Readers
+    that provably consume the whole mapping, and writers with
+    unresolvable flow (``**unknown``), are exempt — the model only
+    reports what it can prove.
+    """
+
+    id = "R011"
+    name = "schema-parity"
+    description = (
+        "state-dict keys written by to_state must be read by from_state, "
+        "and unguarded reads must be written"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = build_schema_model(project)
+        findings: List[Finding] = []
+        readers_of: Dict[str, List[ReaderSchema]] = {}
+        for pair in model.pairs:
+            readers_of.setdefault(pair.writer.name, []).append(pair.reader)
+        # written but never read
+        for writer in model.writers.values():
+            readers = readers_of.get(writer.name)
+            if not readers or writer.delegator:
+                continue
+            if any(reader.open for reader in readers):
+                continue
+            read_keys = set().union(*(reader.read_keys() for reader in readers))
+            reader_names = ", ".join(sorted(r.name for r in readers))
+            for key, write in sorted(writer.writes.items()):
+                if key not in read_keys:
+                    findings.append(
+                        self.finding(
+                            writer.module, write.node,
+                            f"state key {key!r} written by {writer.name} is "
+                            f"never read by {reader_names} — silently dropped "
+                            "on restore",
+                        )
+                    )
+        # read unguarded but never written
+        for pair in model.pairs:
+            if pair.writer.open or pair.writer.delegator:
+                continue
+            for read in pair.reader.reads:
+                if read.guarded or read.key in pair.writer.writes:
+                    continue
+                findings.append(
+                    self.finding(
+                        pair.reader.module, read.node,
+                        f"state key {read.key!r} read without a default in "
+                        f"{pair.reader.name} but never written by "
+                        f"{pair.writer.name} — latent KeyError on restore",
+                    )
+                )
+        return findings
+
+
+class DefaultDriftRule(Rule):
+    """``.get(k, default)`` of a key the paired writer always emits.
+
+    A defaulted read of an always-written key is a masked contract: if
+    the writer ever drops (or renames) the key, restores silently fall
+    back to the default instead of failing.  Version-compat defaults for
+    snapshots that genuinely predate a key are legitimate — pragma the
+    site naming the version that lacked it.
+    """
+
+    id = "R012"
+    name = "default-drift"
+    description = (
+        ".get(key, default) reads of keys the paired writer always "
+        "emits mask the contract (pragma version-compat sites)"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = build_schema_model(project)
+        findings: List[Finding] = []
+        for pair in model.pairs:
+            for read in pair.reader.reads:
+                if not read.has_default:
+                    continue
+                write = pair.writer.writes.get(read.key)
+                if write is not None and write.always:
+                    findings.append(
+                        self.finding(
+                            pair.reader.module, read.node,
+                            f"defaulted read of {read.key!r} in "
+                            f"{pair.reader.name}, but {pair.writer.name} "
+                            "always writes it — the default can only mask a "
+                            "broken snapshot (pragma with the version that "
+                            "lacked the key if this is deliberate compat)",
+                        )
+                    )
+        return findings
+
+
+class PlainDataRule(Rule):
+    """State-dict values must bottom out in plain data or nested schemas.
+
+    The wire-format migration (ROADMAP) can only replace framed pickle
+    if every value crossing the snapshot boundary is JSON/numpy-plain or
+    delegates to a nested ``to_state()``-style schema.  The check is
+    evidence-based: a value is flagged only when the analyzer can *show*
+    it is an arbitrary object (a call to a non-allowlisted constructor,
+    an attribute annotated with a project class); unprovable values get
+    the benefit of the doubt.
+    """
+
+    id = "R013"
+    name = "plain-data"
+    description = (
+        "state-dict values must be JSON/numpy-plain or nested "
+        "to_state() calls — arbitrary objects block the pickle-free codec"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = build_schema_model(project)
+        findings: List[Finding] = []
+        for writer in model.writers.values():
+            for key, write in sorted(writer.writes.items()):
+                if write.kind == KIND_OPAQUE:
+                    findings.append(
+                        self.finding(
+                            writer.module, write.node,
+                            f"state key {key!r} of {writer.name} holds a "
+                            "non-plain object — only JSON/numpy-plain values "
+                            "or nested to_state() schemas can cross the "
+                            "snapshot boundary (pragma with the migration "
+                            "plan if deliberate)",
+                        )
+                    )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# runtime witness (REPRO_SCHEMA=1)
+# ----------------------------------------------------------------------
+#: modules whose snapshot classes :func:`install_witness` wraps — every
+#: layer with a to_state/from_state contract on the serving path
+DEFAULT_WITNESS_MODULES: Tuple[str, ...] = (
+    "repro.streaming.rowstore",
+    "repro.streaming.estimator",
+    "repro.streaming.mutable_index",
+    "repro.shard.sharded_index",
+    "repro.engine.backends",
+    "repro.engine.engine",
+    "repro.cluster.coordinator",
+    "repro.cluster.backend",
+)
+
+
+class SchemaWitness:
+    """Observed key-sets, keyed ``Class.method``, recorded under a mutex."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._observed: Dict[str, Set[str]] = {}
+
+    def record(self, entry: str, keys: Iterable[str]) -> None:
+        with self._mutex:
+            self._observed.setdefault(entry, set()).update(keys)
+
+    def record_one(self, entry: str, key: str) -> None:
+        with self._mutex:
+            self._observed.setdefault(entry, set()).add(key)
+
+    def observed(self) -> Dict[str, Set[str]]:
+        with self._mutex:
+            return {entry: set(keys) for entry, keys in self._observed.items()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON dumped by the conftest hook at session end."""
+        observed = self.observed()
+        return {
+            "version": 1,
+            "observed": {
+                entry: sorted(keys) for entry, keys in sorted(observed.items())
+            },
+        }
+
+
+class RecordingMapping(Mapping[str, Any]):
+    """A read-through Mapping proxy that records which keys are touched."""
+
+    def __init__(self, inner: Mapping[str, Any], witness: SchemaWitness, entry: str) -> None:
+        self._inner = inner
+        self._witness = witness
+        self._entry = entry
+
+    def __getitem__(self, key: str) -> Any:
+        self._witness.record_one(self._entry, key)
+        return self._inner[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._witness.record_one(self._entry, key)
+        return self._inner.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, str):
+            self._witness.record_one(self._entry, key)
+        return key in self._inner
+
+    def __iter__(self) -> Iterator[str]:
+        # whole-mapping iteration (``dict(state)``) is not a per-key
+        # read; the static model marks such readers open
+        return iter(self._inner)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<schema witness of {self._entry}: {self._inner!r}>"
+
+
+_active_witness: Optional[SchemaWitness] = None
+#: (class, method name) → original attribute, for uninstall
+_wrapped: List[Tuple[type, str, Any]] = []
+
+
+def _wrap_writer(cls: type, name: str, witness: SchemaWitness) -> None:
+    original = cls.__dict__[name]
+    function = original.__func__ if isinstance(original, (classmethod, staticmethod)) else original
+    entry = f"{cls.__name__}.{name}"
+
+    @functools.wraps(function)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        result = function(*args, **kwargs)
+        if isinstance(result, dict):
+            witness.record(entry, [key for key in result if isinstance(key, str)])
+        return result
+
+    replacement: Any = wrapper
+    if isinstance(original, classmethod):
+        replacement = classmethod(wrapper)
+    elif isinstance(original, staticmethod):
+        replacement = staticmethod(wrapper)
+    _wrapped.append((cls, name, original))
+    setattr(cls, name, replacement)
+
+
+def _wrap_reader(cls: type, name: str, witness: SchemaWitness) -> None:
+    original = cls.__dict__[name]
+    function = original.__func__ if isinstance(original, (classmethod, staticmethod)) else original
+    entry = f"{cls.__name__}.{name}"
+
+    @functools.wraps(function)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        wrapped_args = list(args)
+        for position, value in enumerate(wrapped_args):
+            if isinstance(value, RecordingMapping):
+                break  # already witnessed by an outer reader
+            if isinstance(value, Mapping) and not isinstance(value, RecordingMapping):
+                wrapped_args[position] = RecordingMapping(value, witness, entry)
+                break
+        return function(*wrapped_args, **kwargs)
+
+    replacement: Any = wrapper
+    if isinstance(original, classmethod):
+        replacement = classmethod(wrapper)
+    elif isinstance(original, staticmethod):
+        replacement = staticmethod(wrapper)
+    _wrapped.append((cls, name, original))
+    setattr(cls, name, replacement)
+
+
+def install_witness(
+    modules: Sequence[str] = DEFAULT_WITNESS_MODULES,
+) -> SchemaWitness:
+    """Wrap every writer/reader on the snapshot classes; idempotent.
+
+    Only methods defined *on* a class are wrapped (inherited methods are
+    witnessed by their defining class), so observed entries line up with
+    the static model's ``Class.method`` names.
+    """
+    global _active_witness
+    if _active_witness is not None:
+        return _active_witness
+    _active_witness = SchemaWitness()
+    for module_name in modules:
+        module = importlib.import_module(module_name)
+        for value in vars(module).values():
+            if not isinstance(value, type) or value.__module__ != module_name:
+                continue
+            for method_name in WRITER_NAMES:
+                attribute = value.__dict__.get(method_name)
+                if callable(attribute) or isinstance(
+                    attribute, (classmethod, staticmethod)
+                ):
+                    _wrap_writer(value, method_name, _active_witness)
+            for method_name in READER_NAMES:
+                attribute = value.__dict__.get(method_name)
+                if callable(attribute) or isinstance(
+                    attribute, (classmethod, staticmethod)
+                ):
+                    _wrap_reader(value, method_name, _active_witness)
+    return _active_witness
+
+
+def uninstall_witness() -> None:
+    """Restore every wrapped method."""
+    global _active_witness
+    for cls, name, original in reversed(_wrapped):
+        setattr(cls, name, original)
+    _wrapped.clear()
+    _active_witness = None
+
+
+def active_witness() -> Optional[SchemaWitness]:
+    """The witness installed by :func:`install_witness`, if any."""
+    return _active_witness
+
+
+# ----------------------------------------------------------------------
+# report: observed key-sets vs static model + inventory artifact
+# ----------------------------------------------------------------------
+def unexplained_observations(
+    observed: Mapping[str, Iterable[str]], src_paths: Sequence[str]
+) -> List[Tuple[str, List[str]]]:
+    """Observed (entry, keys) the static model cannot explain.
+
+    The static model must over-approximate the runtime: an observed key
+    with no static counterpart means the extractor lost a flow path (a
+    store through an alias, an unresolved helper).  Entries the model
+    marks *open* explain any key; entries missing from the model
+    entirely are reported with all their keys.
+    """
+    from repro.analysis.engine import load_project
+
+    project, _errors = load_project(list(src_paths))
+    model = build_schema_model(project)
+    unexplained: List[Tuple[str, List[str]]] = []
+    for entry, keys in sorted(observed.items()):
+        resolved = model.entry_keys(entry)
+        if resolved is None:
+            unexplained.append((entry, sorted(keys)))
+            continue
+        known, is_open = resolved
+        if is_open:
+            continue
+        missing = sorted(set(keys) - known)
+        if missing:
+            unexplained.append((entry, missing))
+    return unexplained
+
+
+def build_schema_report_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Arguments of ``repro schema-report``."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro schema-report",
+            description=(
+                "check observed snapshot key-sets against the static schema "
+                "model and emit the schema inventory"
+            ),
+        )
+    parser.add_argument(
+        "--observed", default=None,
+        help="observed key-set JSON written by a REPRO_SCHEMA=1 test run",
+    )
+    parser.add_argument(
+        "--src", nargs="+", default=["src"], metavar="PATH",
+        help="source paths for the static schema model (default: src)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the versioned schema-inventory JSON to this file",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def run_schema_report_from_args(args: argparse.Namespace) -> int:
+    """``repro schema-report``: 0 = observed ⊆ static (or nothing observed)."""
+    observed: Dict[str, List[str]] = {}
+    if args.observed is not None:
+        try:
+            with open(args.observed, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read observed key-sets {args.observed!r}: {error}")  # noqa: T201 - CLI output
+            return 2
+        observed = dict(payload.get("observed", {}))
+    from repro.analysis.engine import load_project
+
+    project, parse_errors = load_project(list(args.src))
+    model = build_schema_model(project)
+    unexplained = unexplained_observations(observed, args.src) if observed else []
+    inventory = model.to_inventory()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(inventory, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    ok = not unexplained and not parse_errors
+    if args.format == "json":
+        verdict = {
+            "entries": len(inventory["entries"]),
+            "pairs": len(inventory["pairs"]),
+            "observed_entries": len(observed),
+            "unexplained": [
+                {"entry": entry, "keys": keys} for entry, keys in unexplained
+            ],
+            "ok": ok,
+        }
+        print(json.dumps(verdict, indent=2, sort_keys=True))  # noqa: T201 - CLI output
+    else:
+        print(  # noqa: T201 - CLI output
+            f"schema: {len(model.writers)} writer(s), {len(model.readers)} "
+            f"reader(s), {len(model.pairs)} pair(s); "
+            f"{len(observed)} observed entr(ies)"
+        )
+        for entry, keys in unexplained:
+            print(  # noqa: T201 - CLI output
+                f"  {entry}: observed key(s) not in the static model: "
+                f"{', '.join(keys)}"
+            )
+        for finding in parse_errors:
+            print(f"  {finding.render()}")  # noqa: T201 - CLI output
+        if ok:
+            print("schema: observed key-sets are a subset of the static model")  # noqa: T201 - CLI output
+        else:
+            print("schema: FAIL")  # noqa: T201 - CLI output
+    return 0 if ok else 1
+
+
+__all__ = [
+    "DEFAULT_WITNESS_MODULES",
+    "DefaultDriftRule",
+    "KeyRead",
+    "KeyWrite",
+    "PlainDataRule",
+    "ReaderSchema",
+    "RecordingMapping",
+    "SchemaModel",
+    "SchemaPair",
+    "SchemaParityRule",
+    "SchemaWitness",
+    "WriterSchema",
+    "READER_NAMES",
+    "WRITER_NAMES",
+    "active_witness",
+    "build_schema_model",
+    "build_schema_report_parser",
+    "install_witness",
+    "run_schema_report_from_args",
+    "unexplained_observations",
+    "uninstall_witness",
+]

@@ -44,7 +44,7 @@ class PairedLSHTable:
         The two vector collections ``U`` and ``V``.
     """
 
-    def __init__(self, family: LSHFamily, left: VectorCollection, right: VectorCollection):
+    def __init__(self, family: LSHFamily, left: VectorCollection, right: VectorCollection) -> None:
         if left.dimension != right.dimension:
             raise ValidationError("both collections must share a dimension")
         self.family = family
@@ -165,7 +165,7 @@ class GeneralRandomPairSampling(SimilarityJoinSizeEstimator):
         right: VectorCollection,
         *,
         sample_size: Optional[int] = None,
-    ):
+    ) -> None:
         if left.dimension != right.dimension:
             raise ValidationError("both collections must share a dimension")
         self.left = left
@@ -211,7 +211,7 @@ class GeneralLSHSSEstimator(SimilarityJoinSizeEstimator):
         sample_size_l: Optional[int] = None,
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
-    ):
+    ) -> None:
         self.paired_table = paired_table
         n = max(paired_table.left.size, paired_table.right.size)
         self.sample_size_h = sample_size_h or default_sample_size(n)

@@ -70,7 +70,7 @@ class LatticeCountingEstimator(SimilarityJoinSizeEstimator):
         num_bins: int = 25,
         min_support: int = 1,
         collision_model: CollisionModel = "angular",
-    ):
+    ) -> None:
         if num_bins < 2:
             raise ValidationError(f"num_bins must be >= 2, got {num_bins}")
         if not 1 <= min_support <= table.num_hashes:

@@ -61,7 +61,7 @@ class LSHSEstimator(SimilarityJoinSizeEstimator):
         *,
         sample_size: Optional[int] = None,
         collision_model: CollisionModel = "angular",
-    ):
+    ) -> None:
         if sample_size is not None and sample_size < 1:
             raise ValidationError(f"sample_size must be >= 1, got {sample_size}")
         self.table = table

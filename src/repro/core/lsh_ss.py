@@ -202,7 +202,7 @@ class LSHSSEstimator(SimilarityJoinSizeEstimator):
         sample_size_l: Optional[int] = None,
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
-    ):
+    ) -> None:
         self.table = table
         self.collection = table.collection
         n = self.collection.size

@@ -15,7 +15,7 @@ A production LSH index keeps ``ℓ > 1`` tables.  Two ways to use them:
 from __future__ import annotations
 
 import statistics
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,7 +53,7 @@ class MedianEstimator(SimilarityJoinSizeEstimator):
 
     name = "LSH-SS(median)"
 
-    def __init__(self, index: LSHIndex, estimator_factory: EstimatorFactory, *, name: Optional[str] = None):
+    def __init__(self, index: LSHIndex, estimator_factory: EstimatorFactory, *, name: Optional[str] = None) -> None:
         self.index = index
         self.estimators: List[SimilarityJoinSizeEstimator] = [
             estimator_factory(table) for table in index.tables
@@ -107,7 +107,7 @@ class VirtualBucketEstimator(SimilarityJoinSizeEstimator):
         answer_threshold: Optional[int] = None,
         dampening: Dampening = None,
         max_virtual_pairs: int = 5_000_000,
-    ):
+    ) -> None:
         self.index = index
         self.collection = index.collection
         n = self.collection.size
@@ -132,11 +132,15 @@ class VirtualBucketEstimator(SimilarityJoinSizeEstimator):
     def _similarities(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return cosine_pairs(self.collection, left, right)
 
-    def _sample_virtual_h(self, size: int, rng: np.random.Generator):
+    def _sample_virtual_h(
+        self, size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         positions = rng.integers(0, self._virtual_left.size, size=size)
         return self._virtual_left[positions], self._virtual_right[positions]
 
-    def _sample_virtual_l(self, size: int, rng: np.random.Generator):
+    def _sample_virtual_l(
+        self, size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
         lefts = []
         rights = []
         remaining = size

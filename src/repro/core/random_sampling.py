@@ -48,7 +48,7 @@ class RandomPairSampling(SimilarityJoinSizeEstimator):
         collection: VectorCollection,
         *,
         sample_size: Optional[int] = None,
-    ):
+    ) -> None:
         if sample_size is not None and sample_size < 1:
             raise ValidationError(f"sample_size must be >= 1, got {sample_size}")
         self.collection = collection
@@ -93,7 +93,7 @@ class CrossSampling(SimilarityJoinSizeEstimator):
         collection: VectorCollection,
         *,
         sample_size: Optional[int] = None,
-    ):
+    ) -> None:
         if sample_size is not None and sample_size < 1:
             raise ValidationError(f"sample_size must be >= 1, got {sample_size}")
         self.collection = collection

@@ -37,7 +37,7 @@ class UniformityEstimator(SimilarityJoinSizeEstimator):
 
     name = "J_U"
 
-    def __init__(self, table: LSHTable, *, collision_model: CollisionModel = "angular"):
+    def __init__(self, table: LSHTable, *, collision_model: CollisionModel = "angular") -> None:
         self.table = table
         self.collision_model = collision_model
 

@@ -425,7 +425,7 @@ class StaticBackend(EstimatorBackend):
     # ------------------------------------------------------------------
     def to_state(self) -> Dict[str, Any]:
         matrix = sparse.vstack(self._blocks, format="csr") if self._blocks else None
-        return {"format": 1, "kind": "static-backend", "matrix": matrix}
+        return {"format": 1, "kind": "static-backend", "matrix": matrix}  # reprolint: disable=R013 - scipy CSR corpus; becomes raw numpy buffer frames in the wire-format migration (ROADMAP)
 
     @classmethod
     def from_state(cls, config: EngineConfig, state: Mapping[str, Any]) -> "StaticBackend":

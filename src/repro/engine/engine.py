@@ -482,9 +482,9 @@ class JoinEstimationEngine:
         """Best-effort config for a raw index snapshot (family stays default)."""
         return EngineConfig(
             backend=backend,
-            num_hashes=int(state["num_hashes"]),
-            num_tables=int(state["num_tables"]),
-            dimension=int(state["dimension"]),
+            num_hashes=int(state["num_hashes"]),  # reprolint: disable=R011 - raw-index-snapshot branch: reads MutableLSHIndex/ShardedMutableIndex schema, not the engine's own
+            num_tables=int(state["num_tables"]),  # reprolint: disable=R011 - raw-index-snapshot branch: reads MutableLSHIndex/ShardedMutableIndex schema, not the engine's own
+            dimension=int(state["dimension"]),  # reprolint: disable=R011 - raw-index-snapshot branch: reads MutableLSHIndex/ShardedMutableIndex schema, not the engine's own
         )
 
     # ------------------------------------------------------------------

@@ -16,7 +16,7 @@ remains reproducible from one seed.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Any, Dict, Sequence, Union
 
 import numpy as np
 
@@ -67,7 +67,7 @@ def derive_seed(rng: np.random.Generator) -> int:
     return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
 
 
-def generator_state(rng: np.random.Generator) -> dict:
+def generator_state(rng: np.random.Generator) -> Dict[str, Any]:
     """A picklable snapshot of a generator's exact position in its stream.
 
     Together with :func:`generator_from_state` this lets stateful
@@ -78,8 +78,12 @@ def generator_state(rng: np.random.Generator) -> dict:
     return dict(rng.bit_generator.state)
 
 
-def generator_from_state(state: dict) -> np.random.Generator:
-    """Rebuild a generator from :func:`generator_state` output."""
+def generator_from_state(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator from :func:`generator_state` output.
+
+    Takes a real ``dict`` (not ``Mapping``): numpy's
+    ``bit_generator.state`` setter requires one.
+    """
     from repro.errors import ValidationError
 
     name = state.get("bit_generator")

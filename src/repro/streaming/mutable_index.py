@@ -807,7 +807,7 @@ class MutableLSHIndex:
             "next_id": self._next_id,
             "live_ids": list(self._live_ids),
             "rows": self._rows.state(),
-            "families": self.families,
+            "families": self.families,  # reprolint: disable=R013 - LSHFamily carries its seeded hyperplanes; gains its own to_state() in the wire-format migration (ROADMAP)
             "tables": [table.bucket_state() for table in self.tables],
         }
         estimator_states = collect_estimator_states(self._observers)

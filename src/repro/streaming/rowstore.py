@@ -30,7 +30,7 @@ static query path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, Iterator, List, Mapping, Sequence, cast
 
 import numpy as np
 from scipy import sparse
@@ -298,14 +298,14 @@ class RowStore:
         """A picklable snapshot of the live rows (ids + one CSR matrix)."""
         ids = self.ids()
         matrix = self.gather_raw(ids) if ids.size else sparse.csr_matrix((0, self.dimension))
-        return {"dimension": self.dimension, "ids": ids.tolist(), "matrix": matrix}
+        return {"dimension": self.dimension, "ids": ids.tolist(), "matrix": matrix}  # reprolint: disable=R013 - scipy CSR rows; becomes raw numpy buffer frames in the wire-format migration (ROADMAP)
 
     @classmethod
-    def from_state(cls, state: Dict[str, object]) -> "RowStore":
+    def from_state(cls, state: Mapping[str, object]) -> "RowStore":
         store = cls(int(state["dimension"]))
-        ids = state["ids"]
+        ids = cast(List[int], state["ids"])
         if ids:
-            store.add_many(ids, state["matrix"].tocsr())
+            store.add_many(ids, cast(sparse.spmatrix, state["matrix"]).tocsr())
         return store
 
     def check_invariants(self) -> None:

@@ -37,7 +37,7 @@ class VectorCollection:
     normalised rows) are cached lazily.
     """
 
-    def __init__(self, matrix: Union[sparse.spmatrix, ArrayLike], *, copy: bool = True):
+    def __init__(self, matrix: Union[sparse.spmatrix, ArrayLike], *, copy: bool = True) -> None:
         csr = self._coerce_matrix(matrix, copy=copy)
         if csr.shape[0] == 0:
             raise EmptyCollectionError("a VectorCollection must contain at least one vector")

@@ -17,7 +17,7 @@ import math
 import re
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import ValidationError
 from repro.vectors.collection import VectorCollection
@@ -36,7 +36,7 @@ class Tokenizer:
         Tokens shorter than this are dropped.
     """
 
-    def __init__(self, *, lowercase: bool = True, min_token_length: int = 1):
+    def __init__(self, *, lowercase: bool = True, min_token_length: int = 1) -> None:
         if min_token_length < 1:
             raise ValidationError("min_token_length must be >= 1")
         self.lowercase = lowercase
@@ -127,7 +127,7 @@ class TfidfVectorizer:
         sublinear_tf: bool = False,
         binary: bool = False,
         min_df: int = 1,
-    ):
+    ) -> None:
         if min_df < 1:
             raise ValidationError("min_df must be >= 1")
         self.tokenizer = tokenizer or Tokenizer()
@@ -140,7 +140,7 @@ class TfidfVectorizer:
         self._document_count = 0
 
     # ------------------------------------------------------------------
-    def _to_tokens(self, document) -> List[str]:
+    def _to_tokens(self, document: Union[str, Iterable[object]]) -> List[str]:
         if isinstance(document, str):
             return self.tokenizer.tokenize(document)
         return [str(token) for token in document]

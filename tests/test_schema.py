@@ -1,0 +1,600 @@
+"""Tests for the snapshot-schema analyzer (src/repro/analysis/schema).
+
+Per-rule true-positive + pragma-suppressed fixtures for R011/R012/R013,
+a hypothesis property that *any* generated writer/reader key-set
+mismatch is detected, pins of the real repo's extracted schema for
+`MutableLSHIndex`/`ShardedMutableIndex`, runtime-witness round trips,
+and the same self-check CI runs: the shipped source tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lint_paths
+from repro.analysis.engine import load_project
+from repro.analysis.schema import (
+    RecordingMapping,
+    SchemaWitness,
+    active_witness,
+    build_schema_model,
+    build_schema_report_parser,
+    install_witness,
+    run_schema_report_from_args,
+    unexplained_observations,
+    uninstall_witness,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def lint_source(tmp_path: Path, source: str, *, name: str = "mod.py", select=None):
+    """Write one fixture module and lint it with the selected rules."""
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return lint_paths([str(path)], select=select)
+
+
+def model_of(tmp_path: Path, source: str, *, name: str = "mod.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    project, errors = load_project([str(path)])
+    assert not errors
+    return build_schema_model(project)
+
+
+def rule_ids(report):
+    return [finding.rule for finding in report.findings]
+
+
+PAIRED = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int, label: str) -> None:
+        self.size = size
+        self.label = label
+
+    def to_state(self) -> dict:
+        return {{"format": 1, {writes}}}
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        if state.get("format") != 1:
+            raise ValueError("bad format")
+        return cls({reads})
+"""
+
+
+# ----------------------------------------------------------------------
+# R011 — schema parity
+# ----------------------------------------------------------------------
+class TestSchemaParity:
+    def test_written_never_read_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            PAIRED.format(
+                writes='"size": self.size, "label": self.label',
+                reads='state["size"], "x"',
+            ),
+            select=["R011"],
+        )
+        assert rule_ids(report) == ["R011"]
+        assert "'label'" in report.findings[0].message
+        assert "never read" in report.findings[0].message
+
+    def test_unguarded_read_never_written_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            PAIRED.format(
+                writes='"size": self.size, "label": self.label',
+                reads='state["size"], state["name"]',
+            ),
+            select=["R011"],
+        )
+        messages = [finding.message for finding in report.findings]
+        assert rule_ids(report) == ["R011", "R011"]
+        assert any("'name'" in message and "KeyError" in message for message in messages)
+        # the unread 'label' write is also caught in the same pass
+        assert any("'label'" in message for message in messages)
+
+    def test_matched_schema_clean(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            PAIRED.format(
+                writes='"size": self.size, "label": self.label',
+                reads='state["size"], state["label"]',
+            ),
+            select=["R011"],
+        )
+        assert rule_ids(report) == []
+
+    def test_membership_guard_counts_as_read(self, tmp_path):
+        source = PAIRED.format(
+            writes='"size": self.size, "label": self.label',
+            reads='state["size"], state["label"] if "label" in state else "x"',
+        )
+        report = lint_source(tmp_path, source, select=["R011"])
+        assert rule_ids(report) == []
+
+    def test_conditional_write_still_needs_reader(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.extra = None
+
+    def to_state(self) -> dict:
+        state = {"format": 1, "size": self.size}
+        if self.extra is not None:
+            state["extra"] = self.extra
+        return state
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        if state.get("format") != 1:
+            raise ValueError("bad format")
+        return cls(state["size"])
+"""
+        report = lint_source(tmp_path, source, select=["R011"])
+        assert rule_ids(report) == ["R011"]
+        assert "'extra'" in report.findings[0].message
+
+    def test_open_reader_suppresses_written_never_read(self, tmp_path):
+        # a reader that consumes the whole mapping explains every key
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def to_state(self) -> dict:
+        return {"size": self.size, "anything": 1}
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        box = cls(0)
+        for key, value in state.items():
+            setattr(box, key, value)
+        return box
+"""
+        report = lint_source(tmp_path, source, select=["R011"])
+        assert rule_ids(report) == []
+
+    def test_interprocedural_helper_read_is_seen(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int, label: str) -> None:
+        self.size = size
+        self.label = label
+
+    def to_state(self) -> dict:
+        return {"size": self.size, "label": self.label}
+
+    @staticmethod
+    def _unwrap(state: Mapping) -> str:
+        return state["label"]
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        return cls(state["size"], cls._unwrap(state))
+"""
+        report = lint_source(tmp_path, source, select=["R011"])
+        assert rule_ids(report) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def to_state(self) -> dict:
+        return {
+            "size": self.size,
+            "label": "x",  # reprolint: disable=R011 - forward-compat key for the next reader version
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        return cls(state["size"])
+"""
+        report = lint_source(tmp_path, source, select=["R011"])
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+    def test_module_function_pair(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+def widget_state(widget) -> dict:
+    return {"kind": "widget", "teeth": widget.teeth}
+
+def widget_from_state(state: Mapping):
+    return state["kind"], state["gears"]
+"""
+        report = lint_source(tmp_path, source, select=["R011"])
+        messages = [finding.message for finding in report.findings]
+        assert any("'gears'" in message for message in messages)
+        assert any("'teeth'" in message for message in messages)
+
+
+# ----------------------------------------------------------------------
+# R012 — default drift
+# ----------------------------------------------------------------------
+class TestDefaultDrift:
+    def test_defaulted_read_of_always_written_key_flagged(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            PAIRED.format(
+                writes='"size": self.size',
+                reads='state.get("size", 0)',
+            ),
+            select=["R012"],
+        )
+        assert rule_ids(report) == ["R012"]
+        assert "'size'" in report.findings[0].message
+
+    def test_defaulted_read_of_conditional_key_clean(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.extra = None
+
+    def to_state(self) -> dict:
+        state = {"size": self.size}
+        if self.extra is not None:
+            state["extra"] = self.extra
+        return state
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        box = cls(state["size"])
+        box.extra = state.get("extra", None)
+        return box
+"""
+        report = lint_source(tmp_path, source, select=["R012"])
+        assert rule_ids(report) == []
+
+    def test_single_arg_get_is_validation_not_drift(self, tmp_path):
+        # `.get(k)` without a default is the versioning/validation idiom
+        report = lint_source(
+            tmp_path,
+            PAIRED.format(
+                writes='"size": self.size',
+                reads='state.get("size")',
+            ),
+            select=["R012"],
+        )
+        assert rule_ids(report) == []
+
+    def test_pragma_names_the_compat_version(self, tmp_path):
+        source = """\
+from typing import Mapping
+
+class Box:
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def to_state(self) -> dict:
+        return {"size": self.size}
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "Box":
+        size = state.get("size", 0)  # reprolint: disable=R012 - snapshots before format 1 lacked the key
+        return cls(size)
+"""
+        report = lint_source(tmp_path, source, select=["R012"])
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# R013 — plain-data discipline
+# ----------------------------------------------------------------------
+class TestPlainData:
+    def test_arbitrary_object_value_flagged(self, tmp_path):
+        source = """\
+import threading
+
+class Box:
+    def to_state(self) -> dict:
+        return {"lock": threading.Lock()}
+"""
+        report = lint_source(tmp_path, source, select=["R013"])
+        assert rule_ids(report) == ["R013"]
+        assert "'lock'" in report.findings[0].message
+
+    def test_annotated_project_class_attribute_flagged(self, tmp_path):
+        source = """\
+class Gear:
+    pass
+
+class Box:
+    def __init__(self, gear: Gear) -> None:
+        self.gear = gear
+
+    def to_state(self) -> dict:
+        return {"gear": self.gear}
+"""
+        report = lint_source(tmp_path, source, select=["R013"])
+        assert rule_ids(report) == ["R013"]
+
+    def test_plain_and_nested_values_clean(self, tmp_path):
+        source = """\
+class Gear:
+    def to_state(self) -> dict:
+        return {"teeth": 3}
+
+class Box:
+    def __init__(self, size: int, gear: Gear) -> None:
+        self.size = size
+        self._gear = gear
+
+    def to_state(self) -> dict:
+        return {
+            "size": int(self.size),
+            "sizes": [float(x) for x in (1, 2)],
+            "gear": self._gear.to_state(),
+            "label": f"box-{self.size}",
+        }
+"""
+        report = lint_source(tmp_path, source, select=["R013"])
+        assert rule_ids(report) == []
+
+    def test_unprovable_value_gets_benefit_of_doubt(self, tmp_path):
+        source = """\
+class Box:
+    def to_state(self) -> dict:
+        return {"payload": self.payload}
+"""
+        report = lint_source(tmp_path, source, select=["R013"])
+        assert rule_ids(report) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        source = """\
+import threading
+
+class Box:
+    def to_state(self) -> dict:
+        return {"lock": threading.Lock()}  # reprolint: disable=R013 - never crosses a process boundary
+"""
+        report = lint_source(tmp_path, source, select=["R013"])
+        assert rule_ids(report) == []
+        assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# hypothesis: any writer/reader key-set mismatch is detected
+# ----------------------------------------------------------------------
+KEYS = st.sets(
+    st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"]),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(written=KEYS, read=KEYS)
+def test_any_key_set_mismatch_is_detected(tmp_path_factory, written, read):
+    """R011 fires iff the generated writer/reader key-sets differ."""
+    tmp_path = tmp_path_factory.mktemp("schema-prop")
+    writes = ", ".join(f'"{key}": 1' for key in sorted(written))
+    reads = ", ".join(f'state["{key}"]' for key in sorted(read))
+    source = (
+        "from typing import Mapping\n\n"
+        "class Box:\n"
+        "    def to_state(self) -> dict:\n"
+        f"        return {{{writes}}}\n\n"
+        "    @classmethod\n"
+        '    def from_state(cls, state: Mapping) -> "Box":\n'
+        f"        values = [{reads}]\n"
+        "        return cls()\n"
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    report = lint_paths([str(path)], select=["R011"])
+    flagged_written = {
+        message.split("'")[1]
+        for message in (finding.message for finding in report.findings)
+        if "never read" in message
+    }
+    flagged_read = {
+        message.split("'")[1]
+        for message in (finding.message for finding in report.findings)
+        if "never written" in message
+    }
+    assert flagged_written == written - read
+    assert flagged_read == read - written
+
+
+# ----------------------------------------------------------------------
+# pins of the real repo's extracted schema
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def repo_model():
+    project, errors = load_project([SRC])
+    assert not errors
+    return build_schema_model(project)
+
+
+class TestRepoSchemaPins:
+    def test_mutable_lsh_index_schema(self, repo_model):
+        writer = repo_model.writers["MutableLSHIndex.to_state"]
+        assert not writer.open
+        assert set(writer.writes) == {
+            "format", "dimension", "num_hashes", "num_tables",
+            "next_id", "live_ids", "rows", "families", "tables",
+            "estimators",
+        }
+        assert writer.writes["format"].always
+        assert not writer.writes["estimators"].always  # conditional key
+        # composition: the row store contributes through a nested state()
+        assert writer.writes["rows"].kind == "nested"
+        assert writer.writes["rows"].ref == "RowStore.state"
+
+    def test_sharded_mutable_index_schema(self, repo_model):
+        writer = repo_model.writers["ShardedMutableIndex.to_state"]
+        assert not writer.open
+        assert set(writer.writes) >= {
+            "format", "kind", "dimension", "num_hashes", "num_tables",
+            "num_shards", "shards", "partitioner", "live_ids",
+        }
+        assert writer.writes["kind"].always
+
+    def test_inheritance_pairing(self, repo_model):
+        # ClusterCoordinator inherits to_state from ShardedMutableIndex;
+        # its from_state must pair against the inherited writer
+        pair_names = {
+            (pair.writer.name, pair.reader.name) for pair in repo_model.pairs
+        }
+        assert (
+            "ShardedMutableIndex.to_state",
+            "ClusterCoordinator.from_state",
+        ) in pair_names
+
+    def test_reservoir_round_trip_is_closed(self, repo_model):
+        writer = repo_model.writers["_PairReservoir.state"]
+        reader = repo_model.readers["_PairReservoir.from_state"]
+        assert not writer.open and not reader.open
+        assert set(writer.writes) == reader.read_keys()
+
+    def test_inventory_is_versioned_and_lists_pairs(self, repo_model):
+        inventory = repo_model.to_inventory()
+        assert inventory["version"] == 1
+        assert "MutableLSHIndex.to_state" in inventory["entries"]
+        assert ["RowStore.state", "RowStore.from_state"] in inventory["pairs"]
+
+
+# ----------------------------------------------------------------------
+# runtime witness
+# ----------------------------------------------------------------------
+class TestWitness:
+    def test_recording_mapping_records_reads(self):
+        witness = SchemaWitness()
+        proxy = RecordingMapping({"a": 1, "b": 2}, witness, "Box.from_state")
+        assert proxy["a"] == 1
+        assert proxy.get("b") == 2
+        assert proxy.get("c", 3) == 3
+        assert "missing" not in proxy
+        assert len(proxy) == 2
+        assert dict(proxy) == {"a": 1, "b": 2}  # iteration records nothing
+        assert witness.observed() == {
+            "Box.from_state": {"a", "b", "c", "missing"}
+        }
+
+    def test_install_records_real_round_trip(self, tiny_collection):
+        from repro.streaming import MutableLSHIndex
+
+        witness = install_witness()
+        try:
+            assert active_witness() is witness
+            index = MutableLSHIndex(4, num_hashes=4, num_tables=2, random_state=7)
+            for row in range(tiny_collection.size):
+                index.insert(tiny_collection.matrix.getrow(row))
+            state = index.to_state()
+            MutableLSHIndex.from_state(state)
+            observed = witness.observed()
+            assert "format" in observed["MutableLSHIndex.to_state"]
+            assert "rows" in observed["MutableLSHIndex.from_state"]
+            assert "dimension" in observed["RowStore.state"]
+        finally:
+            uninstall_witness()
+        assert active_witness() is None
+
+    def test_observed_subset_of_static_model(self, tiny_collection):
+        from repro.streaming import MutableLSHIndex
+
+        witness = install_witness()
+        try:
+            index = MutableLSHIndex(4, num_hashes=4, num_tables=2, random_state=7)
+            for row in range(tiny_collection.size):
+                index.insert(tiny_collection.matrix.getrow(row))
+            MutableLSHIndex.from_state(index.to_state())
+            observed = {
+                entry: sorted(keys)
+                for entry, keys in witness.observed().items()
+            }
+        finally:
+            uninstall_witness()
+        assert unexplained_observations(observed, [SRC]) == []
+
+    def test_unknown_entry_and_key_are_unexplained(self):
+        observed = {
+            "NoSuchClass.to_state": ["a"],
+            "MutableLSHIndex.to_state": ["format", "not_a_real_key"],
+        }
+        unexplained = unexplained_observations(observed, [SRC])
+        assert ("NoSuchClass.to_state", ["a"]) in unexplained
+        assert ("MutableLSHIndex.to_state", ["not_a_real_key"]) in unexplained
+
+
+# ----------------------------------------------------------------------
+# schema-report CLI
+# ----------------------------------------------------------------------
+class TestSchemaReportCli:
+    def run(self, *argv):
+        parser = build_schema_report_parser()
+        return run_schema_report_from_args(parser.parse_args(list(argv)))
+
+    def test_clean_observed_exits_zero_and_writes_inventory(self, tmp_path, capsys):
+        observed_path = tmp_path / "observed.json"
+        observed_path.write_text(json.dumps({
+            "version": 1,
+            "observed": {"RowStore.state": ["dimension", "ids", "matrix"]},
+        }))
+        inventory_path = tmp_path / "inventory.json"
+        code = self.run(
+            "--observed", str(observed_path),
+            "--src", SRC,
+            "--output", str(inventory_path),
+        )
+        assert code == 0
+        inventory = json.loads(inventory_path.read_text())
+        assert inventory["version"] == 1
+        assert inventory["entries"]["RowStore.state"]["role"] == "writer"
+        assert "subset" in capsys.readouterr().out
+
+    def test_unexplained_key_exits_one(self, tmp_path, capsys):
+        observed_path = tmp_path / "observed.json"
+        observed_path.write_text(json.dumps({
+            "version": 1,
+            "observed": {"RowStore.state": ["bogus_key"]},
+        }))
+        code = self.run("--observed", str(observed_path), "--src", SRC)
+        assert code == 1
+        assert "bogus_key" in capsys.readouterr().out
+
+    def test_unreadable_observed_exits_two(self, tmp_path):
+        code = self.run("--observed", str(tmp_path / "missing.json"), "--src", SRC)
+        assert code == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        code = self.run("--src", SRC, "--format", "json")
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is True
+        assert verdict["entries"] > 0
+
+
+# ----------------------------------------------------------------------
+# the same gate CI runs
+# ----------------------------------------------------------------------
+def test_shipped_source_tree_lints_clean():
+    report = lint_paths([SRC])
+    assert report.exit_code == 0, report.render_text()
